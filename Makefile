@@ -1,0 +1,29 @@
+# Development entry points.
+
+.PHONY: install test bench repro repro-quick examples clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper table/figure (EXPERIMENTS.md's numbers).
+repro:
+	python -m repro.experiments.runner all
+
+repro-quick:
+	python -m repro.experiments.runner all --quick
+
+examples:
+	@for example in examples/*.py; do \
+		echo "== $$example"; \
+		python $$example || exit 1; \
+	done
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

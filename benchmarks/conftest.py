@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper table/figure at a reduced but
+shape-preserving scale and asserts the paper's headline relationship on
+the result, so ``pytest benchmarks/ --benchmark-only`` is simultaneously
+a timing suite and a reproduction check.  Full-scale runs are produced
+by the ``seuss-repro`` CLI.
+
+Simulations are deterministic, so a single round is meaningful; the
+``once`` helper wraps ``benchmark.pedantic`` accordingly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the target exactly once under the benchmark clock."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

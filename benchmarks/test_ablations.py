@@ -1,0 +1,164 @@
+"""Ablation benchmarks for SEUSS's individual design choices.
+
+The paper's evaluation ablates anticipatory optimization (Table 2);
+these benchmarks ablate the remaining design choices DESIGN.md calls
+out — snapshot *stacks*, the idle-UC (hot) cache, the OOM reclaim
+daemon, and the shim's single TCP connection — quantifying what each
+buys on the same workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.faas.records import InvocationPath
+from repro.seuss.config import SeussConfig
+from repro.seuss.node import SeussNode
+from repro.sim import Environment
+from repro.workload.functions import nop_function
+
+
+def fresh_node(**kwargs) -> SeussNode:
+    node = SeussNode(Environment(), SeussConfig(**kwargs))
+    node.initialize_sync()
+    return node
+
+
+def test_snapshot_stacks_ablation(once):
+    """§3: stacks vs flat snapshots — cacheable functions per GB."""
+
+    def measure():
+        out = {}
+        for stacked in (True, False):
+            node = fresh_node(snapshot_stacks=stacked)
+            fn = nop_function(owner=f"stk-{stacked}")
+            result = node.invoke_sync(fn)
+            assert result.success
+            snapshot = node.snapshot_cache.get(fn.key)
+            out[stacked] = {
+                "snapshot_mb": snapshot.footprint_mb,
+                "capacity": node.snapshot_cache.capacity_estimate(
+                    snapshot.footprint_pages
+                ),
+                "cold_ms": result.latency_ms,
+            }
+        return out
+
+    out = once(measure)
+    stacked, flat = out[True], out[False]
+    print()
+    print(
+        f"stacked: {stacked['snapshot_mb']:.2f} MB/fn -> "
+        f"{stacked['capacity']:,} cacheable functions; "
+        f"flat: {flat['snapshot_mb']:.1f} MB/fn -> "
+        f"{flat['capacity']:,}"
+    )
+    # The §3 example's arithmetic: sharing the interpreter image makes
+    # function snapshots ~50x denser.
+    assert stacked["capacity"] / flat["capacity"] > 40
+    # Flat capture also pays to clone the full image on every cold start.
+    assert flat["cold_ms"] > stacked["cold_ms"] * 2
+
+
+def test_idle_uc_cache_ablation(once):
+    """§4: the hot path — what caching idle UCs is worth."""
+
+    def measure():
+        fn = nop_function(owner="hotcache")
+        with_cache = fresh_node(cache_idle_ucs=True)
+        without_cache = fresh_node(cache_idle_ucs=False)
+        with_cache.invoke_sync(fn)
+        without_cache.invoke_sync(fn)
+        hot = with_cache.invoke_sync(fn)
+        warm = without_cache.invoke_sync(fn)
+        assert hot.path is InvocationPath.HOT
+        assert warm.path is InvocationPath.WARM
+        return hot.latency_ms, warm.latency_ms
+
+    hot_ms, warm_ms = once(measure)
+    print(f"\nhot {hot_ms:.2f} ms vs warm-only {warm_ms:.2f} ms")
+    assert warm_ms / hot_ms > 4  # 3.5 / 0.8
+
+
+def test_oom_daemon_ablation(once):
+    """§6: without idle-UC reclaim, a small node runs out of memory."""
+
+    def measure():
+        # The snapshot budget fits all 500 function snapshots, so idle
+        # UCs are what exhausts memory — exactly the state the OOM
+        # daemon exists to reclaim.
+        kwargs = dict(
+            memory_gb=2.0,
+            system_reserved_mb=64.0,
+            snapshot_cache_budget_mb=1250.0,
+            oom_threshold_mb=16.0,
+        )
+        protected = fresh_node(**kwargs)
+        unprotected = fresh_node(**kwargs)
+        unprotected.allocator._reclaim_hooks.clear()  # the ablation
+
+        completed_protected = completed_unprotected = 0
+        failed = False
+        for index in range(500):
+            fn = nop_function(owner=f"oom-{index}")
+            if protected.invoke_sync(fn).success:
+                completed_protected += 1
+            if not failed:
+                try:
+                    result = unprotected.invoke_sync(fn)
+                    if result.success:
+                        completed_unprotected += 1
+                    else:
+                        failed = True
+                except OutOfMemoryError:
+                    failed = True
+        return completed_protected, completed_unprotected, protected
+
+    completed_protected, completed_unprotected, node = once(measure)
+    print(
+        f"\nwith OOM daemon: {completed_protected}/500 succeed "
+        f"({node.uc_cache.stats.reclaimed} UCs reclaimed); "
+        f"without: {completed_unprotected} before failure"
+    )
+    assert completed_protected == 500
+    assert completed_unprotected < 500
+    assert node.uc_cache.stats.reclaimed > 0
+
+
+def test_shim_bottleneck_ablation(once):
+    """§6/§7: the shim's single connection caps throughput at 128.6/s."""
+
+    def measure():
+        env = Environment()
+        node = SeussNode(env)
+        node.initialize_sync()
+        from repro.seuss.shim import ShimProcess
+
+        shim = ShimProcess(env, node.costs.platform)
+
+        def deploy_through_shim():
+            yield from shim.forward()
+            yield from node.deploy_idle_instance()
+
+        count = 1000
+        started = env.now
+        procs = [env.process(deploy_through_shim()) for _ in range(count)]
+        env.run(until=env.all_of(procs))
+        with_shim = count / ((env.now - started) / 1000.0)
+
+        started = env.now
+        procs = [
+            env.process(node.deploy_idle_instance()) for _ in range(count)
+        ]
+        env.run(until=env.all_of(procs))
+        without_shim = count / ((env.now - started) / 1000.0)
+        return with_shim, without_shim
+
+    with_shim, without_shim = once(measure)
+    print(
+        f"\ncreation rate: {with_shim:.1f}/s through the shim, "
+        f"{without_shim:,.0f}/s without"
+    )
+    assert with_shim == pytest.approx(128.6, rel=0.02)
+    assert without_shim > 10 * with_shim

@@ -1,0 +1,112 @@
+"""Wall-clock micro-benchmarks of the simulation substrate itself.
+
+Unlike the table/figure benchmarks (deterministic single-shot
+reproductions), these measure the *library's* hot paths with repeated
+rounds: event-loop throughput, interval-set algebra, COW faults, and
+snapshot capture/deploy.  They bound the cost of scaling experiments up
+(e.g. Table 3's 54,000-UC sweep).
+"""
+
+from __future__ import annotations
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.frames import FrameAllocator
+from repro.mem.intervals import IntervalSet
+from repro.sim import Environment
+from repro.unikernel.context import UnikernelContext
+from repro.unikernel.interpreters import NODEJS
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule and drain 10k timeouts."""
+
+    def run():
+        env = Environment()
+
+        def ticker():
+            for _ in range(100):
+                yield env.timeout(1.0)
+
+        for _ in range(100):
+            env.process(ticker())
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 100.0
+
+
+def test_interval_set_churn(benchmark):
+    """Mixed add/discard/query load on one interval set."""
+
+    def run():
+        intervals = IntervalSet()
+        for i in range(2000):
+            base = (i * 37) % 50_000
+            intervals.add(base, base + 17)
+            if i % 3 == 0:
+                intervals.discard(base + 5, base + 9)
+            if i % 7 == 0:
+                intervals.overlap_size(base, base + 100)
+        return intervals.page_count
+
+    assert benchmark(run) > 0
+
+
+def test_cow_fault_path(benchmark):
+    """Deploy-from-snapshot plus scattered writes."""
+    allocator = FrameAllocator(50_000_000)
+    builder = AddressSpace(allocator)
+    builder.write(0, 30_000)
+    base = builder.capture_snapshot("base")
+
+    def run():
+        space = AddressSpace(allocator, base=base)
+        for i in range(50):
+            space.write(i * 600, 40)
+        space.destroy()
+        return space.fault_count
+
+    assert benchmark(run) == 2000
+
+
+def test_uc_deploy_rate(benchmark):
+    """Full UC deploy (listen state) from a runtime snapshot."""
+    allocator = FrameAllocator(200_000_000)
+    boot = UnikernelContext(allocator, NODEJS)
+    boot.boot()
+    boot.warm_network()
+    boot.warm_interpreter()
+    base = boot.capture_snapshot("runtime")
+    base.retain()
+
+    def run():
+        uc = UnikernelContext(allocator, NODEJS, base=base)
+        uc.start_listening()
+        uc.destroy()
+
+    benchmark(run)
+
+
+def test_snapshot_capture_rate(benchmark):
+    """Cold-path tail: import + capture a ~2 MB function snapshot."""
+    allocator = FrameAllocator(200_000_000)
+    boot = UnikernelContext(allocator, NODEJS)
+    boot.boot()
+    boot.warm_network()
+    boot.warm_interpreter()
+    base = boot.capture_snapshot("runtime")
+    base.retain()
+
+    def run():
+        uc = UnikernelContext(allocator, NODEJS, base=base)
+        uc.start_listening()
+        uc.accept_connection()
+        uc.import_function("bench/fn", 0.1)
+        snapshot = uc.capture_snapshot("fn")
+        snapshot.retain()
+        uc.destroy()
+        snapshot.release()
+        snapshot.mark_orphan()
+        return snapshot.page_count
+
+    assert benchmark(run) > 0

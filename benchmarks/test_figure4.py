@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 4 (throughput vs set size)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure4 import run_figure4
+
+
+def test_figure4(once):
+    result = once(
+        run_figure4, set_sizes=(64, 512, 2048, 65536), invocations=3000
+    )
+    print()
+    print(result.to_text())
+    points = {p.set_size: p for p in result.raw["points"]}
+    # SEUSS plateau is flat and shim-limited.
+    assert points[64].seuss_rps == pytest.approx(128.6, rel=0.02)
+    assert points[65536].seuss_rps == pytest.approx(128.6, rel=0.02)
+    # Linux collapses once the container cache saturates.
+    assert points[2048].linux_rps < points[64].linux_rps / 10
+    # The mostly-unique workload is where SEUSS wins by >30x.
+    assert points[65536].seuss_speedup > 30
+    assert points[65536].seuss_error_rate == 0.0

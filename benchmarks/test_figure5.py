@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 5 (latency percentiles)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure5 import run_figure5
+
+
+def test_figure5(once):
+    result = once(run_figure5, set_sizes=(64, 2048), invocations=2500)
+    print()
+    print(result.to_text())
+    summaries = result.raw["summaries"]
+    linux_small = summaries["linux"][64]
+    linux_big = summaries["linux"][2048]
+    seuss_small = summaries["seuss"][64]
+    seuss_big = summaries["seuss"][2048]
+    # Linux beats SEUSS at small set sizes (the shim hop)...
+    assert linux_small.p50 < seuss_small.p50
+    # ...but explodes once the cache saturates (note the paper's Y-axis
+    # ranges), while SEUSS's distribution barely moves.
+    assert linux_big.p50 > 5 * linux_small.p50
+    assert seuss_big.p50 == pytest.approx(seuss_small.p50, rel=0.1)
+    assert seuss_big.p99 < 1000  # still sub-second

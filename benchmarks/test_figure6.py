@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 6 (bursts every 32 s)."""
+
+from __future__ import annotations
+
+from repro.experiments.bursts import run_burst_figure
+
+
+def test_figure6(once):
+    result = once(run_burst_figure, 32, burst_count=6)
+    print()
+    print(result.to_text())
+    runs = result.raw["runs"]
+    # SEUSS handles every request; Linux starts erroring once the
+    # container cache fills (around the 5th burst in the paper).
+    assert runs["seuss"].total_errors == 0
+    assert runs["linux"].burst_errors > 0
+    assert runs["linux"].first_failing_burst() >= 4

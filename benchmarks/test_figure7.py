@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 7 (bursts every 16 s)."""
+
+from __future__ import annotations
+
+from repro.experiments.bursts import run_burst_figure
+
+
+def test_figure7(once):
+    result = once(run_burst_figure, 16, burst_count=8)
+    print()
+    print(result.to_text())
+    runs = result.raw["runs"]
+    assert runs["seuss"].total_errors == 0
+    # The stemcell pool cannot repopulate in 16 s: failures start
+    # earlier and cold starts blow past 10 s.
+    assert runs["linux"].burst_errors > 0
+    assert runs["linux"].burst_latency_max_ms() > 10_000

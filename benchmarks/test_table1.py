@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 1 (SEUSS microbenchmarks)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(once):
+    result = once(run_table1, invocations=100)
+    print()
+    print(result.to_text())
+    values = {row[0]: row[2] for row in result.rows}
+    assert values["Node.js runtime snapshot (MB)"] == pytest.approx(109.6, abs=0.1)
+    assert values["Node.js runtime snapshot after AO (MB)"] == pytest.approx(
+        114.5, abs=0.1
+    )
+    assert values["NOP function snapshot after AO (MB)"] == pytest.approx(2.0, abs=0.1)
+    assert values["cold start latency (ms)"] == pytest.approx(7.5, abs=0.1)
+    assert values["warm start latency (ms)"] == pytest.approx(3.5, abs=0.1)
+    assert values["hot start latency (ms)"] == pytest.approx(0.8, abs=0.05)

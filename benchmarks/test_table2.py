@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 2 (AO latency matrix)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table2 import PAPER_COLD_MS, PAPER_WARM_MS, run_table2
+from repro.seuss.config import AOLevel
+
+
+def test_table2(once):
+    result = once(run_table2, invocations=25)
+    print()
+    print(result.to_text())
+    measured = result.raw["measured"]
+    for level in AOLevel:
+        cold_ms, warm_ms = measured[level]
+        assert cold_ms == pytest.approx(PAPER_COLD_MS[level], rel=0.03)
+        assert warm_ms == pytest.approx(PAPER_WARM_MS[level], rel=0.03)
+    # The multiplicative collapse: 42 -> 7.5 cold is a >5x improvement.
+    no_ao_cold = measured[AOLevel.NONE][0]
+    full_ao_cold = measured[AOLevel.NETWORK_AND_INTERPRETER][0]
+    assert no_ao_cold / full_ao_cold > 5

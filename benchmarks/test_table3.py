@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Table 3 (density + creation rates).
+
+Density sweeps for the Linux-based methods run to true saturation (450 /
+3000 / 4200 instances); the SEUSS sweep is capped at 8000 (it would
+otherwise run to 54,000+, which the full-scale CLI run demonstrates) and
+the rate tests create a fixed per-method batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table3 import run_table3
+
+
+def test_table3(once):
+    result = once(
+        run_table3,
+        density_limit=8000,
+        rate_targets={
+            "microvm": 64,
+            "container": 400,
+            "process": 1500,
+            "seuss_uc": 4000,
+        },
+    )
+    print()
+    print(result.to_text())
+    rows = {row[0]: row for row in result.rows}
+    # Creation rates: paper column vs measured column.
+    assert rows["Firecracker microVM"][2] == pytest.approx(1.3, rel=0.1)
+    assert rows["Docker w/ overlay2 fs"][2] == pytest.approx(5.3, rel=0.25)
+    assert rows["Linux process"][2] == pytest.approx(45.0, rel=0.05)
+    assert rows["SEUSS UC"][2] == pytest.approx(128.6, rel=0.03)
+    # Densities (SEUSS capped at the sweep limit).
+    assert rows["Firecracker microVM"][4] == pytest.approx(450, rel=0.02)
+    assert rows["Docker w/ overlay2 fs"][4] == pytest.approx(3000, rel=0.02)
+    assert rows["Linux process"][4] == pytest.approx(4200, rel=0.02)
+    assert rows["SEUSS UC"][4] == 8000

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Anticipatory optimization: pre-execute likely paths before snapshotting.
+
+Reproduces the paper's Table 2 sweep and the §3 "snapshot stacks"
+arithmetic (the Foo()/Bar() example), showing the dual effect of AO:
+latency collapses *and* function snapshots shrink, because first-use
+state migrates into the shared base snapshot.
+
+Run:  python examples/anticipatory_optimization.py
+"""
+
+from repro import AOLevel, Environment, SeussConfig, SeussNode, nop_function
+
+
+def measure(level: AOLevel):
+    env = Environment()
+    node = SeussNode(env, SeussConfig(ao_level=level))
+    node.initialize_sync()
+    fn = nop_function(owner=f"ao-{level.value}")
+    cold = node.invoke_sync(fn)
+    node.uc_cache.drop_function(fn.key)
+    warm = node.invoke_sync(fn)
+    snapshot = node.snapshot_cache.get(fn.key)
+    base = node.runtime_record("nodejs").snapshot
+    return cold.latency_ms, warm.latency_ms, base.size_mb, snapshot.size_mb
+
+
+def main() -> None:
+    print("Table 2 sweep — AO level vs latency and snapshot sizes:")
+    print(
+        f"{'AO level':<24}{'cold ms':>9}{'warm ms':>9}"
+        f"{'base MB':>10}{'fn MB':>8}"
+    )
+    for level in AOLevel:
+        cold_ms, warm_ms, base_mb, fn_mb = measure(level)
+        print(
+            f"{level.value:<24}{cold_ms:>9.1f}{warm_ms:>9.1f}"
+            f"{base_mb:>10.1f}{fn_mb:>8.2f}"
+        )
+    print()
+    print(
+        "AO bloats the base snapshot by ~4.9 MB but halves every function\n"
+        "snapshot and removes the first-use latency from every cold start.\n"
+    )
+
+    # -- §3's snapshot-stack arithmetic, measured, not asserted ----------
+    env = Environment()
+    node = SeussNode(env)
+    node.initialize_sync()
+    foo = nop_function(name="Foo", owner="stacks")
+    bar = nop_function(name="Bar", owner="stacks")
+    node.invoke_sync(foo)
+    node.invoke_sync(bar)
+    base = node.runtime_record("nodejs").snapshot
+    foo_snap = node.snapshot_cache.get(foo.key)
+    bar_snap = node.snapshot_cache.get(bar.key)
+    flat = 2 * (base.size_mb + foo_snap.size_mb)
+    stacked = base.size_mb + foo_snap.size_mb + bar_snap.size_mb
+    print("Snapshot stacks (§3): caching Foo() and Bar() fully initialized")
+    print(f"  two flat snapshots would cost: {flat:8.1f} MB")
+    print(f"  one base + two diffs costs:    {stacked:8.1f} MB")
+    print(
+        f"  the {base.size_mb:.1f} MB interpreter image is stored once and\n"
+        f"  shared by both function snapshots (diffs of "
+        f"{foo_snap.size_mb:.1f} MB each)."
+    )
+
+
+if __name__ == "__main__":
+    main()

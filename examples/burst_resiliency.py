@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Burst resiliency: the paper's Figures 6-8 scenario, side by side.
+
+A rate-throttled background stream of IO-bound functions runs while
+volleys of concurrent requests to brand-new CPU-bound functions slam the
+platform at a fixed period.  The Linux/Docker node survives only as long
+as its stemcell container pool holds out; the SEUSS node absorbs every
+burst because a new function costs one ~7.5 ms cold start and one ~2 MB
+snapshot.
+
+Run:  python examples/burst_resiliency.py [interval_seconds]
+"""
+
+import sys
+
+from repro import Environment
+from repro.faas.cluster import FaasCluster
+from repro.linuxnode.config import LinuxNodeConfig
+from repro.metrics.stats import percentile
+from repro.workload.burst import BurstConfig, BurstWorkload
+
+
+def run_backend(backend: str, interval_s: float) -> None:
+    env = Environment()
+    if backend == "seuss":
+        cluster = FaasCluster.with_seuss_node(env)
+    else:
+        # The paper enables a 256-container stemcell pool for bursts.
+        cluster = FaasCluster.with_linux_node(
+            env, config=LinuxNodeConfig(stemcell_pool_size=256)
+        )
+    config = BurstConfig(
+        burst_interval_ms=interval_s * 1000.0,
+        burst_count=6,
+        burst_size=128,
+    )
+    result = BurstWorkload(config).run(cluster)
+
+    print(f"--- {backend} (burst every {interval_s:.0f}s) ---")
+    for index, burst in enumerate(result.bursts, start=1):
+        errors = sum(1 for r in burst if not r.success)
+        ok = [r.latency_ms for r in burst if r.success]
+        high = max(ok) / 1000.0 if ok else float("nan")
+        marker = f"  <-- {errors} errors" if errors else ""
+        print(
+            f"  burst {index}: slowest {high:6.2f} s, "
+            f"{len(ok):3d}/{len(burst)} ok{marker}"
+        )
+    background = result.background_latencies()
+    print(
+        f"  background: {len(result.background)} requests, "
+        f"{result.background_errors} errors, "
+        f"p50 {percentile(background, 50):.0f} ms, "
+        f"p99 {percentile(background, 99):.0f} ms"
+    )
+    print()
+
+
+def main() -> None:
+    interval_s = float(sys.argv[1]) if len(sys.argv) > 1 else 16.0
+    for backend in ("linux", "seuss"):
+        run_backend(backend, interval_s)
+    print(
+        "The Linux node's container cache exhausts under repeated bursts\n"
+        "(evictions + slow creations + bridge timeouts), while each burst\n"
+        "costs SEUSS one extra snapshot: 'we would presumably require tens\n"
+        "of thousands of bursts before there would be any cache contention'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Cache density: how many idle Node.js environments fit on one node?
+
+Reproduces the Table 3 comparison at reduced scale: deploy idle runtime
+environments under each isolation method until a fixed memory budget is
+exhausted, then extrapolate to the paper's 88 GB node.  Shows *why* the
+SEUSS number is 54,000 while Docker's is 3,000: an idle UC's only
+private memory is its page-table copy plus the pages it dirtied after
+deploy — everything else is shared through the snapshot.
+
+Run:  python examples/cache_density.py
+"""
+
+from repro import Environment
+from repro.errors import OutOfMemoryError
+from repro.linuxnode.config import LinuxNodeConfig
+from repro.linuxnode.instances import InstanceKind
+from repro.linuxnode.node import LinuxNode
+from repro.seuss.config import SeussConfig
+from repro.seuss.node import SeussNode
+
+#: Shrunken node so the sweep finishes in seconds.
+NODE_GB = 8.0
+PAPER_NODE_GB = 88.0
+
+
+def linux_density(kind: InstanceKind) -> tuple:
+    env = Environment()
+    node = LinuxNode(
+        env, config=LinuxNodeConfig(memory_gb=NODE_GB, system_reserved_mb=256)
+    )
+    count = 0
+    while True:
+        try:
+            env.run(until=env.process(node.deploy_instance(kind)))
+        except OutOfMemoryError:
+            break
+        count += 1
+    per_mb = kind.footprint_mb(node.costs.linux)
+    return count, per_mb
+
+
+def seuss_density() -> tuple:
+    env = Environment()
+    node = SeussNode(
+        env, SeussConfig(memory_gb=NODE_GB, system_reserved_mb=256)
+    )
+    node.initialize_sync()
+    deployed = []
+    while True:
+        try:
+            deployed.append(env.run(until=env.process(node.deploy_idle_instance())))
+        except OutOfMemoryError:
+            break
+    per_mb = deployed[0].resident_mb if deployed else 0.0
+    return len(deployed), per_mb
+
+
+def main() -> None:
+    print(f"idle Node.js environments on a {NODE_GB:.0f} GB node:")
+    print(f"{'method':<24}{'count':>8}{'MB each':>10}{'paper-scale est.':>18}")
+    scale = PAPER_NODE_GB / NODE_GB
+    rows = [
+        ("Firecracker microVM", *linux_density(InstanceKind.MICROVM)),
+        ("Docker container", *linux_density(InstanceKind.CONTAINER)),
+        ("Linux process", *linux_density(InstanceKind.PROCESS)),
+        ("SEUSS UC", *seuss_density()),
+    ]
+    for label, count, per_mb in rows:
+        print(f"{label:<24}{count:>8}{per_mb:>10.2f}{int(count * scale):>18,}")
+    print()
+    print(
+        "An idle SEUSS UC privately owns only its shallow page-table copy\n"
+        "and the pages the driver dirtied re-entering its listen loop;\n"
+        "the 114.5 MB runtime image is shared read-only by every instance."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Adding a language runtime: snapshots are black boxes.
+
+The paper argues that snapshot-based caching is *general*: unlike
+fork-based systems, it needs no cooperation from the interpreter (§3,
+§8 — Node.js famously does not support POSIX fork).  Adding a runtime
+to this library is one :class:`RuntimeSpec` describing how the
+interpreter uses memory and time; the snapshot machinery is untouched.
+
+This example registers a fictional "quickjs" runtime, builds a node
+that serves it alongside Node.js and Python, and invokes a function on
+each.
+
+Run:  python examples/custom_runtime.py
+"""
+
+from repro import Environment, FunctionSpec, SeussConfig, SeussNode
+from repro.unikernel.interpreters import (
+    RuntimeSpec,
+    register_runtime,
+    registered_runtimes,
+)
+
+#: A small embeddable JavaScript engine: quick to boot, light in memory,
+#: and — like Node.js — without fork support.
+QUICKJS = RuntimeSpec(
+    name="quickjs",
+    language="javascript",
+    supports_fork=False,
+    interpreter_init_ms=90.0,
+    kernel_pages=7_680,  # same Rumprun base
+    interpreter_pages=1_536,  # 6 MB engine init
+    driver_pages=256,  # 1 MB driver
+    ao_network_pages=486,
+    ao_interpreter_pages=64,
+    ao_dummy_pages=128,
+    listen_pages=128,
+    conn_pages=51,
+    args_pages=8,
+    import_base_pages=48,
+    import_pages_per_kb=8,
+)
+
+
+def main() -> None:
+    register_runtime(QUICKJS)
+    print(f"registered runtimes: {', '.join(registered_runtimes())}")
+
+    env = Environment()
+    node = SeussNode(
+        env, SeussConfig(runtimes=("nodejs", "python", "quickjs"))
+    )
+    node.initialize_sync()
+    print(f"node initialized in {env.now:.0f} ms (three runtimes)\n")
+
+    print(f"{'runtime':<10}{'base snapshot MB':>18}{'cold ms':>9}{'hot ms':>8}")
+    for runtime in ("nodejs", "python", "quickjs"):
+        record = node.runtime_record(runtime)
+        fn = FunctionSpec(name="nop", owner=f"demo-{runtime}", runtime=runtime)
+        cold = node.invoke_sync(fn)
+        hot = node.invoke_sync(fn)
+        print(
+            f"{runtime:<10}{record.snapshot.size_mb:>18.1f}"
+            f"{cold.latency_ms:>9.2f}{hot.latency_ms:>8.2f}"
+        )
+
+    print(
+        "\nEach runtime costs one base snapshot ('relatively large in\n"
+        "memory use but there are few of them: only one per supported\n"
+        "interpreter'); the deployment paths and all sharing machinery\n"
+        "are runtime-agnostic."
+    )
+
+
+if __name__ == "__main__":
+    main()

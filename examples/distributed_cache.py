@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Distributed SEUSS (§9): a replicated global snapshot cache.
+
+The paper's future-work section ("DR-SEUSS") observes that snapshots
+are read-only and deploy-anywhere, so they can be cloned across
+machines.  This example runs a 4-node cluster and shows the deployment
+path that falls out: **remote-warm** — ship a ~2 MB diff over 10 GbE
+instead of re-importing code — under the three transfer strategies the
+paper cites (full copy, on-demand paging, VM state coloring).
+
+Run:  python examples/distributed_cache.py
+"""
+
+from repro import Environment, nop_function
+from repro.distributed import (
+    DistributedSeussCluster,
+    SchedulingPolicy,
+    TransferStrategy,
+)
+
+
+def demo_strategies() -> None:
+    print("remote-warm deployment vs transfer strategy (2 MB diff):")
+    print(f"{'strategy':<12}{'cold ms':>9}{'remote-warm ms':>16}{'saved':>8}")
+    for strategy in TransferStrategy:
+        cluster = DistributedSeussCluster(
+            Environment(), node_count=2, strategy=strategy
+        )
+        fn = nop_function(owner=f"demo-{strategy.value}")
+        cold = cluster.invoke_sync(fn)
+        cluster.nodes[cold.node_id].uc_cache.drop_function(fn.key)
+        cluster._in_flight[cold.node_id] = 8  # steer the scheduler away
+        remote = cluster.invoke_sync(fn)
+        assert remote.path == "remote_warm"
+        saved = cold.latency_ms - remote.latency_ms
+        print(
+            f"{strategy.value:<12}{cold.latency_ms:>9.2f}"
+            f"{remote.latency_ms:>16.2f}{saved:>7.2f}ms"
+        )
+    print()
+
+
+def demo_replication() -> None:
+    cluster = DistributedSeussCluster(
+        Environment(),
+        node_count=4,
+        policy=SchedulingPolicy.LEAST_LOADED,
+        strategy=TransferStrategy.COLORED,
+    )
+    fn = nop_function(owner="popular")
+    # A popular function invoked under shifting load gets replicated
+    # onto every node it lands on — at diff cost, never image cost.
+    for round_number in range(8):
+        result = cluster.invoke_sync(fn)
+        cluster.nodes[result.node_id].uc_cache.drop_function(fn.key)
+        cluster._in_flight[result.node_id] += 2  # simulate lingering load
+        print(
+            f"  round {round_number}: node {result.node_id} via "
+            f"{result.path:<12} ({result.latency_ms:6.2f} ms, "
+            f"{result.transferred_mb:.2f} MB moved)"
+        )
+    print(
+        f"\nreplicas of {fn.key!r}: {cluster.replica_count(fn.key)} of "
+        f"{cluster.node_count} nodes; wire total "
+        f"{cluster.interconnect.stats.mb_moved:.1f} MB "
+        f"(the 114.5 MB runtime image never moves — every node already "
+        "has it)"
+    )
+
+
+def main() -> None:
+    demo_strategies()
+    print("replicating a popular function across a 4-node cluster:")
+    demo_replication()
+
+
+if __name__ == "__main__":
+    main()

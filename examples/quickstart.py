@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: deploy serverless functions from unikernel snapshots.
+
+Builds a SEUSS compute node, walks one function through all three
+invocation paths (cold / warm / hot), and shows where the time goes —
+the latency decomposition behind the paper's Table 1.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Environment, SeussNode, nop_function
+
+
+def main() -> None:
+    env = Environment()
+    node = SeussNode(env)
+
+    # Node initialization happens once: boot the Rumprun+Node.js
+    # unikernel, apply anticipatory optimizations, capture the base
+    # runtime snapshot.  Every function deployment afterwards skips all
+    # of this work.
+    node.initialize_sync()
+    record = node.runtime_record("nodejs")
+    print(f"node initialized in {env.now:.0f} ms (paid once)")
+    print(
+        f"  runtime snapshot: {record.snapshot.size_mb:.1f} MB "
+        f"({record.ao_report.mb_added:.1f} MB added by AO)"
+    )
+    print()
+
+    fn = nop_function(name="hello", owner="quickstart")
+
+    # COLD: no cached state for this function.  Deploy from the runtime
+    # snapshot, import + compile the code, capture a function snapshot.
+    cold = node.invoke_sync(fn)
+    print(f"cold start: {cold.latency_ms:.2f} ms ({cold.path.value})")
+    for stage, duration in cold.breakdown.items():
+        print(f"    {stage:<22} {duration:.2f} ms")
+
+    # HOT: the idle UC from the cold start is reused; only the
+    # arguments are imported and the function runs.
+    hot = node.invoke_sync(fn)
+    print(f"hot start:  {hot.latency_ms:.2f} ms ({hot.path.value})")
+
+    # WARM: drop the idle UC (as the OOM daemon would under pressure);
+    # the function snapshot still short-circuits import/compile.
+    node.uc_cache.drop_function(fn.key)
+    warm = node.invoke_sync(fn)
+    print(f"warm start: {warm.latency_ms:.2f} ms ({warm.path.value})")
+    print()
+
+    snapshot = node.snapshot_cache.get(fn.key)
+    print(
+        f"function snapshot: {snapshot.size_mb:.2f} MB diff on a "
+        f"{snapshot.parent.size_mb:.1f} MB shared base "
+        f"(stack depth {snapshot.depth})"
+    )
+    stats = node.memory_stats()
+    print(
+        f"node memory: {stats.allocated_mb:.0f} MB allocated of "
+        f"{stats.total_pages // 256} MB"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Security model (§5): narrow interfaces and lineage-bounded sharing.
+
+Audits the two mechanisms the paper's security argument rests on, against
+the live simulation objects:
+
+1. the domain interface between an untrusted UC and the trusted kernel
+   is 12 hypercalls (vs 300+ syscalls for a Docker container), and any
+   call outside it is rejected at the boundary;
+2. snapshot sharing is read-only and confined to a function's own
+   lineage — a write from one UC can never be observed by another.
+
+Run:  python examples/security_audit.py
+"""
+
+from repro import Environment, IsolationError, SeussNode, nop_function
+from repro.seuss.security import (
+    attack_surface_reduction_factor,
+    interface_comparison,
+)
+
+
+def main() -> None:
+    seuss, docker = interface_comparison()
+    print("domain interfaces:")
+    for profile in (seuss, docker):
+        print(f"  {profile.mechanism}")
+        print(
+            f"    calls: {profile.domain_interface_calls:>4}   "
+            f"hardware-enforced: {profile.hardware_enforced}   "
+            f"retroactive dedup: {profile.retroactive_dedup}"
+        )
+    print(
+        f"  -> SEUSS's interface is {attack_surface_reduction_factor():.0f}x "
+        "smaller\n"
+    )
+
+    env = Environment()
+    node = SeussNode(env)
+    node.initialize_sync()
+    fn = nop_function(owner="tenant-a")
+    node.invoke_sync(fn)
+    uc = node.uc_cache.pop(fn.key)
+
+    print("boundary enforcement:")
+    print(f"  hypercalls used by this UC so far: {uc.hypercalls.counts}")
+    try:
+        uc.hypercalls.invoke("ptrace")  # a syscall, not a hypercall
+    except IsolationError as exc:
+        print(f"  ptrace rejected at the boundary: {exc}\n")
+
+    print("sharing is lineage-bounded and copy-on-write:")
+    base = node.runtime_record("nodejs").snapshot
+    other = nop_function(owner="tenant-b")
+    node.invoke_sync(other)
+    other_uc = node.uc_cache.pop(other.key)
+    before = other_uc.space.private_pages
+    # Tenant A scribbles over the shared interpreter image...
+    region = uc.layout.region("interpreter")
+    write = uc.space.write(region.start, 64)
+    print(f"  tenant-a wrote 64 shared pages -> {write.pages_copied} COW copies")
+    # ...and tenant B sees nothing: its private set is unchanged and the
+    # base snapshot still owns its original pages.
+    assert other_uc.space.private_pages == before
+    assert base.page_count == base.stack()[-1].page_count
+    print("  tenant-b's address space is untouched; the snapshot is immutable")
+    print(
+        "\nWrites always land on pages dedicated exclusively to the writing\n"
+        "UC; runtime snapshots are captured before any function-specific\n"
+        "state exists, so different users may share them safely."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in
+offline environments whose setuptools predates bundled wheel support
+(``pip install -e . --no-use-pep517 --no-build-isolation``).
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

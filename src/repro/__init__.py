@@ -1,0 +1,97 @@
+"""SEUSS reproduction: serverless execution via unikernel snapshots.
+
+A discrete-event-simulation reproduction of *"SEUSS: Skip Redundant
+Paths to Make Serverless Fast"* (Cadden et al., EuroSys 2020): the
+SEUSS compute node (unikernel contexts deployed from snapshot stacks
+with anticipatory optimizations), the Linux/Docker/Firecracker baselines
+it is evaluated against, the OpenWhisk-style platform around them, and
+harnesses regenerating every table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import Environment, SeussNode, nop_function
+
+    env = Environment()
+    node = SeussNode(env)
+    node.initialize_sync()          # boot + AO + runtime snapshot
+    cold = node.invoke_sync(nop_function())   # ~7.5 ms
+    hot = node.invoke_sync(nop_function())    # ~0.8 ms
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.costs import (
+    CostBook,
+    DEFAULT_COSTS,
+    LinuxCostModel,
+    PlatformCostModel,
+    SeussCostModel,
+)
+from repro.errors import (
+    ConfigError,
+    InvocationError,
+    IsolationError,
+    NetworkError,
+    OutOfMemoryError,
+    ReproError,
+    SnapshotError,
+)
+from repro.faas.records import (
+    FunctionSpec,
+    InvocationPath,
+    InvocationResult,
+    NodeInvocation,
+)
+from repro.linuxnode.config import LinuxNodeConfig
+from repro.linuxnode.node import LinuxNode
+from repro.seuss.config import AOLevel, SeussConfig
+from repro.seuss.node import SeussNode
+from repro.sim import Environment
+from repro.workload.functions import (
+    cpu_bound_function,
+    io_bound_function,
+    nop_function,
+    unique_nop_set,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AOLevel",
+    "ConfigError",
+    "CostBook",
+    "DEFAULT_COSTS",
+    "Environment",
+    "FunctionSpec",
+    "InvocationError",
+    "InvocationPath",
+    "InvocationResult",
+    "IsolationError",
+    "LinuxCostModel",
+    "LinuxNode",
+    "LinuxNodeConfig",
+    "NetworkError",
+    "NodeInvocation",
+    "OutOfMemoryError",
+    "PlatformCostModel",
+    "ReproError",
+    "SeussConfig",
+    "SeussCostModel",
+    "SeussNode",
+    "SnapshotError",
+    "cpu_bound_function",
+    "io_bound_function",
+    "nop_function",
+    "unique_nop_set",
+]
+
+
+def __getattr__(name):
+    # FaasCluster pulls in both node packages; load it lazily so that
+    # `import repro` stays cheap and cycle-free.
+    if name == "FaasCluster":
+        from repro.faas.cluster import FaasCluster
+
+        return FaasCluster
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

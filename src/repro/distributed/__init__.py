@@ -1,0 +1,33 @@
+"""Distributed SEUSS — the paper's §9 future work ("DR-SEUSS").
+
+"We view the natural evolution of SEUSS as spanning across nodes to
+provide a distributed & replicated global cache.  The read-only and
+deploy-anywhere properties of unikernel snapshots suggest they can be
+cloned and deployed across machines with similar hardware profiles.  A
+distributed SEUSS would enable advanced sharing techniques to speed up
+remote deployments, such as VM state coloring or on-demand paging."
+
+This package implements that evolution on top of the single-node core:
+a global snapshot registry (:mod:`repro.distributed.registry`), a
+cluster-interconnect transfer model with full-copy / on-demand /
+state-coloring strategies (:mod:`repro.distributed.transfer`), and a
+multi-node cluster whose scheduler adds a **remote-warm** deployment
+path between warm and cold (:mod:`repro.distributed.cluster`).
+"""
+
+from repro.distributed.cluster import DistributedSeussCluster, SchedulingPolicy
+from repro.distributed.registry import GlobalSnapshotRegistry
+from repro.distributed.transfer import (
+    ClusterInterconnect,
+    TransferStrategy,
+    transfer_plan,
+)
+
+__all__ = [
+    "ClusterInterconnect",
+    "DistributedSeussCluster",
+    "GlobalSnapshotRegistry",
+    "SchedulingPolicy",
+    "TransferStrategy",
+    "transfer_plan",
+]

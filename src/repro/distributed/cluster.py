@@ -1,0 +1,206 @@
+"""A multi-node SEUSS cluster with a replicated snapshot cache.
+
+Adds the deployment path the paper's future-work section sketches:
+between *warm* (snapshot on this node) and *cold* (snapshot nowhere)
+sits **remote-warm** — the snapshot exists on a peer, so the scheduler
+ships its diff over the interconnect and deploys from the installed
+replica, skipping import/compile just like a local warm start.
+
+Scheduling policies:
+
+* ``ROUND_ROBIN`` — spread blindly.
+* ``LEAST_LOADED`` — fewest in-flight invocations.
+* ``SNAPSHOT_AFFINITY`` — prefer a replica holder when one exists (turns
+  would-be remote-warms back into plain warms), falling back to least
+  loaded.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Generator, List, Optional
+
+from repro.costs import CostBook, DEFAULT_COSTS
+from repro.distributed.registry import GlobalSnapshotRegistry
+from repro.distributed.transfer import ClusterInterconnect, TransferStrategy
+from repro.errors import ConfigError
+from repro.faas.records import FunctionSpec, InvocationPath, NodeInvocation
+from repro.seuss.config import SeussConfig
+from repro.seuss.node import SeussNode
+from repro.sim import Environment, Process
+
+
+class SchedulingPolicy(Enum):
+    ROUND_ROBIN = "round_robin"
+    LEAST_LOADED = "least_loaded"
+    SNAPSHOT_AFFINITY = "snapshot_affinity"
+
+
+@dataclass
+class ClusterInvocation:
+    """Cluster-level outcome: the node result plus placement/transfer."""
+
+    node_id: int
+    node_result: NodeInvocation
+    #: "cold" | "warm" | "hot" | "remote_warm" | "error"
+    path: str
+    latency_ms: float
+    transferred_mb: float = 0.0
+
+    @property
+    def success(self) -> bool:
+        return self.node_result.success
+
+
+@dataclass
+class ClusterStats:
+    cold: int = 0
+    warm: int = 0
+    hot: int = 0
+    remote_warm: int = 0
+    errors: int = 0
+    transfers: int = 0
+    per_node: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return self.cold + self.warm + self.hot + self.remote_warm + self.errors
+
+
+class DistributedSeussCluster:
+    """N SEUSS nodes, one interconnect, one global snapshot registry."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node_count: int = 4,
+        config: Optional[SeussConfig] = None,
+        costs: CostBook = DEFAULT_COSTS,
+        strategy: TransferStrategy = TransferStrategy.COLORED,
+        policy: SchedulingPolicy = SchedulingPolicy.LEAST_LOADED,
+    ) -> None:
+        if node_count < 1:
+            raise ConfigError(f"node_count must be >= 1, got {node_count}")
+        self.env = env
+        self.strategy = strategy
+        self.policy = policy
+        self.nodes: List[SeussNode] = []
+        self.registry = GlobalSnapshotRegistry()
+        self.interconnect = ClusterInterconnect(env, node_count)
+        self._in_flight: Dict[int, int] = {i: 0 for i in range(node_count)}
+        self._rr = itertools.count()
+        self.stats = ClusterStats()
+        for node_id in range(node_count):
+            node = SeussNode(env, config=config, costs=costs)
+            node.initialize_sync()
+            node.snapshot_cache.evict_listener = (
+                lambda key, _id=node_id: self.registry.drop(key, _id)
+            )
+            self.nodes.append(node)
+
+    # -- placement ------------------------------------------------------
+    def _least_loaded(self, candidates: List[int]) -> int:
+        return min(candidates, key=lambda nid: (self._in_flight[nid], nid))
+
+    def _pick_node(self, fn: FunctionSpec) -> int:
+        everyone = list(range(len(self.nodes)))
+        if self.policy is SchedulingPolicy.ROUND_ROBIN:
+            return next(self._rr) % len(self.nodes)
+        if self.policy is SchedulingPolicy.SNAPSHOT_AFFINITY:
+            holders = self.registry.holders(fn.key)
+            if holders:
+                return self._least_loaded(holders)
+        return self._least_loaded(everyone)
+
+    # -- invocation ------------------------------------------------------
+    def invoke(self, fn: FunctionSpec) -> Process:
+        return self.env.process(self._invoke(fn))
+
+    def invoke_sync(self, fn: FunctionSpec) -> ClusterInvocation:
+        return self.env.run(until=self.invoke(fn))
+
+    def _invoke(self, fn: FunctionSpec) -> Generator:
+        env = self.env
+        started = env.now
+        node_id = self._pick_node(fn)
+        node = self.nodes[node_id]
+        self._in_flight[node_id] += 1
+        transferred_mb = 0.0
+        residual_ms = 0.0
+        try:
+            # Remote-warm: fetch a peer's replica before invoking.
+            if (
+                fn.key not in node.snapshot_cache
+                and node.uc_cache.function_count(fn.key) == 0
+            ):
+                location = self.registry.locate(fn.key)
+                remote_holders = (
+                    [nid for nid in location.nodes if nid != node_id]
+                    if location
+                    else []
+                )
+                if remote_holders:
+                    src = self._least_loaded(remote_holders)
+                    source_snapshot = self.nodes[src].snapshot_cache.get(fn.key)
+                    if source_snapshot is not None:
+                        plan = yield from self.interconnect.transfer(
+                            src, node_id, source_snapshot.size_mb, self.strategy
+                        )
+                        node.install_snapshot(fn.key, source_snapshot.pages)
+                        self.registry.register(
+                            fn.key, node_id, source_snapshot.size_mb
+                        )
+                        transferred_mb = plan.size_mb
+                        residual_ms = plan.residual_penalty_ms
+                        self.stats.transfers += 1
+
+            result = yield node.invoke(fn)
+            if residual_ms and result.success:
+                # Late pages fault across the wire on first execution.
+                yield env.timeout(residual_ms)
+        finally:
+            self._in_flight[node_id] -= 1
+
+        if result.path is InvocationPath.COLD and result.success:
+            cached = node.snapshot_cache.get(fn.key)
+            if cached is not None:
+                self.registry.register(fn.key, node_id, cached.size_mb)
+
+        path = result.path.value
+        if transferred_mb and result.path is InvocationPath.WARM:
+            path = "remote_warm"
+            self.stats.remote_warm += 1
+        elif result.path is InvocationPath.COLD:
+            self.stats.cold += 1
+        elif result.path is InvocationPath.WARM:
+            self.stats.warm += 1
+        elif result.path is InvocationPath.HOT:
+            self.stats.hot += 1
+        else:
+            self.stats.errors += 1
+        self.stats.per_node[node_id] = self.stats.per_node.get(node_id, 0) + 1
+
+        return ClusterInvocation(
+            node_id=node_id,
+            node_result=result,
+            path=path,
+            latency_ms=env.now - started,
+            transferred_mb=transferred_mb,
+        )
+
+    # -- introspection --------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def replica_count(self, fn_key: str) -> int:
+        return self.registry.replica_count(fn_key)
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedSeussCluster(nodes={self.node_count}, "
+            f"policy={self.policy.value}, strategy={self.strategy.value}, "
+            f"stats={self.stats})"
+        )

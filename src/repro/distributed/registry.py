@@ -1,0 +1,74 @@
+"""The global snapshot registry.
+
+The distributed cache's metadata plane: which nodes hold a replica of
+which function snapshot (and how big the diff is, so transfer planning
+needs no extra round trip).  Deliberately simple — the paper's point is
+that snapshots' read-only, deploy-anywhere nature makes replication
+*metadata-only* hard state; the pages themselves never need coherence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+
+@dataclass
+class SnapshotLocation:
+    """Where one function's snapshot replicas live."""
+
+    fn_key: str
+    size_mb: float
+    nodes: Set[int]
+
+
+class GlobalSnapshotRegistry:
+    """fn_key -> replica locations, with simple popularity tracking."""
+
+    def __init__(self) -> None:
+        self._locations: Dict[str, SnapshotLocation] = {}
+        self._lookups: Dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._locations)
+
+    def __contains__(self, fn_key: str) -> bool:
+        return fn_key in self._locations
+
+    def register(self, fn_key: str, node_id: int, size_mb: float) -> None:
+        """Record that ``node_id`` holds a replica of ``fn_key``."""
+        location = self._locations.get(fn_key)
+        if location is None:
+            self._locations[fn_key] = SnapshotLocation(
+                fn_key=fn_key, size_mb=size_mb, nodes={node_id}
+            )
+        else:
+            location.nodes.add(node_id)
+            location.size_mb = size_mb
+
+    def drop(self, fn_key: str, node_id: int) -> None:
+        """Remove one replica (e.g. evicted from that node's cache)."""
+        location = self._locations.get(fn_key)
+        if location is None:
+            return
+        location.nodes.discard(node_id)
+        if not location.nodes:
+            del self._locations[fn_key]
+
+    def locate(self, fn_key: str) -> Optional[SnapshotLocation]:
+        location = self._locations.get(fn_key)
+        if location is not None:
+            self._lookups[fn_key] = self._lookups.get(fn_key, 0) + 1
+        return location
+
+    def holders(self, fn_key: str) -> List[int]:
+        location = self._locations.get(fn_key)
+        return sorted(location.nodes) if location else []
+
+    def replica_count(self, fn_key: str) -> int:
+        location = self._locations.get(fn_key)
+        return len(location.nodes) if location else 0
+
+    def popularity(self, fn_key: str) -> int:
+        """How often the location of ``fn_key`` was looked up."""
+        return self._lookups.get(fn_key, 0)

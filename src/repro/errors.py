@@ -1,0 +1,36 @@
+"""Exception hierarchy for the SEUSS reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class OutOfMemoryError(ReproError):
+    """The simulated node's physical memory is exhausted.
+
+    On the SEUSS node this is normally prevented by the OOM reclaim
+    daemon (idle UCs are transient and reclaimable); on the Linux node it
+    bounds cache density.
+    """
+
+
+class SnapshotError(ReproError):
+    """Invalid snapshot operation (e.g. deleting a depended-on snapshot)."""
+
+
+class IsolationError(ReproError):
+    """A guest attempted an operation outside its protection domain."""
+
+
+class NetworkError(ReproError):
+    """A simulated network operation failed (drop, timeout, no route)."""
+
+
+class InvocationError(ReproError):
+    """A function invocation failed platform-side (timeout, overload)."""
+
+
+class ConfigError(ReproError):
+    """Invalid experiment or component configuration."""

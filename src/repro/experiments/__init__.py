@@ -1,0 +1,56 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each ``run_*`` function returns an
+:class:`~repro.experiments.base.ExperimentResult` whose rows mirror the
+paper's artifact, with paper-reference values alongside measured ones.
+The CLI (``seuss-repro`` / ``python -m repro.experiments.runner``)
+regenerates everything; the functions below are importable directly for
+programmatic use.
+"""
+
+from repro.experiments.base import ExperimentResult, registry
+
+__all__ = [
+    "ExperimentResult",
+    "registry",
+    "run_ablations",
+    "run_autoao",
+    "run_codesize",
+    "run_distributed",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_ksm_contrast",
+    "run_sensitivity",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+]
+
+_LAZY = {
+    "run_table1": "repro.experiments.table1",
+    "run_table2": "repro.experiments.table2",
+    "run_table3": "repro.experiments.table3",
+    "run_figure4": "repro.experiments.figure4",
+    "run_figure5": "repro.experiments.figure5",
+    "run_figure6": "repro.experiments.bursts",
+    "run_figure7": "repro.experiments.bursts",
+    "run_figure8": "repro.experiments.bursts",
+    "run_ablations": "repro.experiments.extensions",
+    "run_autoao": "repro.experiments.extensions",
+    "run_distributed": "repro.experiments.extensions",
+    "run_ksm_contrast": "repro.experiments.extensions",
+    "run_sensitivity": "repro.experiments.sensitivity",
+    "run_codesize": "repro.experiments.codesize",
+}
+
+
+def __getattr__(name):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)

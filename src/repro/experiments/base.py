@@ -1,0 +1,49 @@
+"""Common experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.metrics.reporter import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: labeled rows plus free-form notes."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[List[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: Raw series/objects for programmatic consumers (plots, tests).
+    raw: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, *values: object) -> None:
+        row = list(values)
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"{self.experiment_id}: row has {len(row)} values, "
+                f"expected {len(self.headers)}"
+            )
+        self.rows.append(row)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def to_text(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} ==", ""]
+        parts.append(format_table(self.headers, self.rows))
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.to_text()
+
+
+#: Experiment-id -> zero-argument callable returning results.  Filled by
+#: :mod:`repro.experiments.runner`.
+registry: Dict[str, Callable[..., List[ExperimentResult]]] = {}

@@ -1,0 +1,165 @@
+"""Figures 6, 7, 8 — platform resiliency to request bursts.
+
+A rate-throttled background stream of IO-bound functions (128 workers,
+16 functions, 72 req/s, 250 ms external block) runs continuously while
+bursts of 128 concurrent invocations of a fresh CPU-bound function
+(~150 ms) arrive every 32 s (Figure 6), 16 s (Figure 7) or 8 s
+(Figure 8).  The Linux node runs with the 256-container stemcell cache
+enabled, as in the paper.
+
+Expected shape (all reproduced here):
+
+* Linux, 32 s — early bursts absorbed by stemcells; around the 5th
+  burst the container cache limit is hit and requests start to error.
+* Linux, 16 s / 8 s — the pool cannot repopulate between bursts; cold
+  starts reach 10-60 s, errors appear sooner, and at 8 s the background
+  stream itself starts failing ("the Linux node gets overwhelmed").
+* SEUSS — every request succeeds at every frequency; each burst adds
+  one snapshot; only at 8 s does CPU contention disturb the background.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.experiments.base import ExperimentResult
+from repro.faas.cluster import FaasCluster
+from repro.linuxnode.config import LinuxNodeConfig
+from repro.metrics.stats import percentile
+from repro.sim import Environment
+from repro.workload.burst import BurstConfig, BurstResult, BurstWorkload
+
+#: Paper figure id per burst interval.
+FIGURE_FOR_INTERVAL_S = {32: "figure6", 16: "figure7", 8: "figure8"}
+
+#: Linux runs the burst experiments with stemcells enabled at 256.
+LINUX_BURST_CONFIG = LinuxNodeConfig(stemcell_pool_size=256)
+
+#: Bursts per run: enough to expose cache exhaustion at every interval.
+DEFAULT_BURST_COUNTS = {32: 8, 16: 12, 8: 16}
+
+
+def run_burst_scenario(
+    interval_s: int,
+    backend: str,
+    burst_count: Optional[int] = None,
+    burst_size: int = 128,
+) -> BurstResult:
+    """One full burst run on one backend.
+
+    A cache-occupancy monitor rides along (attached to the result as
+    ``cache_monitor``): container count on Linux, cached snapshots on
+    SEUSS — the series that explains *when* the Linux node starts
+    failing (occupancy marches into the 1024-container limit) and why
+    SEUSS never does (one ~2 MB snapshot per burst).
+    """
+    from repro.metrics.monitor import Monitor
+
+    env = Environment()
+    if backend == "seuss":
+        cluster = FaasCluster.with_seuss_node(env)
+        probe = lambda: len(cluster.node.snapshot_cache)  # noqa: E731
+    elif backend == "linux":
+        cluster = FaasCluster.with_linux_node(env, config=LINUX_BURST_CONFIG)
+        probe = lambda: cluster.node.total_containers  # noqa: E731
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    monitor = Monitor(env, probe, interval_ms=1000.0, name=f"{backend}-cache")
+    monitor.start()
+    config = BurstConfig(
+        burst_interval_ms=interval_s * 1000.0,
+        burst_count=burst_count or DEFAULT_BURST_COUNTS.get(interval_s, 8),
+        burst_size=burst_size,
+    )
+    result = BurstWorkload(config).run(cluster)
+    monitor.stop()
+    result.cache_monitor = monitor
+    return result
+
+
+def _summarize(result: BurstResult) -> Dict[str, float]:
+    background = result.background_latencies()
+    return {
+        "burst_errors": result.burst_errors,
+        "background_errors": result.background_errors,
+        "first_failing_burst": result.first_failing_burst(),
+        "max_burst_latency_s": result.burst_latency_max_ms() / 1000.0,
+        "background_p50_ms": percentile(background, 50) if background else 0.0,
+        "background_p99_ms": percentile(background, 99) if background else 0.0,
+    }
+
+
+def run_burst_figure(
+    interval_s: int,
+    burst_count: Optional[int] = None,
+    burst_size: int = 128,
+) -> ExperimentResult:
+    """Reproduce one of Figures 6-8 (both backends)."""
+    figure = FIGURE_FOR_INTERVAL_S.get(interval_s, f"burst-{interval_s}s")
+    result = ExperimentResult(
+        experiment_id=figure,
+        title=f"Request burst sent every {interval_s} seconds",
+        headers=[
+            "backend",
+            "burst errors",
+            "bg errors",
+            "first failing burst",
+            "max burst latency (s)",
+            "bg p50 (ms)",
+            "bg p99 (ms)",
+        ],
+    )
+    runs: Dict[str, BurstResult] = {}
+    for backend in ("linux", "seuss"):
+        run = run_burst_scenario(interval_s, backend, burst_count, burst_size)
+        runs[backend] = run
+        summary = _summarize(run)
+        result.add_row(
+            backend,
+            summary["burst_errors"],
+            summary["background_errors"],
+            summary["first_failing_burst"] or "-",
+            summary["max_burst_latency_s"],
+            summary["background_p50_ms"],
+            summary["background_p99_ms"],
+        )
+    seuss = runs["seuss"]
+    linux_monitor = getattr(runs["linux"], "cache_monitor", None)
+    if linux_monitor is not None and linux_monitor.samples:
+        limit = LINUX_BURST_CONFIG.container_cache_limit
+        hit_at = linux_monitor.first_time_reaching(limit)
+        if hit_at is not None:
+            result.add_note(
+                f"Linux container cache hit its {limit} limit at "
+                f"{hit_at / 1000:.0f} s (peak {linux_monitor.max():.0f})"
+            )
+        else:
+            result.add_note(
+                f"Linux container cache peaked at {linux_monitor.max():.0f} "
+                f"of {limit}"
+            )
+    result.add_note(
+        "paper: SEUSS handles every request across all burst frequencies "
+        f"(measured SEUSS errors: {seuss.total_errors})"
+    )
+    snapshots_added = len(
+        {burst[0].function_key for burst in seuss.bursts if burst}
+    )
+    result.add_note(
+        f"each burst adds one snapshot to the SEUSS cache "
+        f"(measured: {snapshots_added} unique burst functions)"
+    )
+    result.raw["runs"] = runs
+    return result
+
+
+def run_figure6(**kwargs) -> ExperimentResult:
+    return run_burst_figure(32, **kwargs)
+
+
+def run_figure7(**kwargs) -> ExperimentResult:
+    return run_burst_figure(16, **kwargs)
+
+
+def run_figure8(**kwargs) -> ExperimentResult:
+    return run_burst_figure(8, **kwargs)

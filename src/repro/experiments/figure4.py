@@ -1,0 +1,131 @@
+"""Figure 4 — OpenWhisk platform throughput vs. function set size.
+
+For each trial the set size of unique NOP functions doubles (64 …
+65536); 32 client threads send a continuous stream of invocations, and
+throughput is read from the stable region of the trial.  Absolute rps
+is not stated in the paper; what the figure establishes — and what this
+harness checks — is the *shape*: Linux wins by ~21% while its container
+cache covers the working set, collapses once it saturates, and ends up
+~52x slower on the mostly-unique workload, while SEUSS holds a flat,
+shim-limited plateau.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.faas.cluster import FaasCluster
+from repro.sim import Environment
+from repro.workload.functions import unique_nop_set
+from repro.workload.generator import run_trial
+
+#: The paper's trial ladder.
+DEFAULT_SET_SIZES = (64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536)
+DEFAULT_WORKERS = 32
+DEFAULT_INVOCATIONS = 4000
+#: Fraction of each trial discarded as warmup when reading throughput.
+STEADY_WARMUP_FRACTION = 0.5
+
+#: Paper headline ratios.
+PAPER_SMALL_SET_LINUX_ADVANTAGE = 1.21  # Linux 21% faster at 64 fns
+PAPER_LARGE_SET_SEUSS_SPEEDUP = 52.0  # "up to a 52x speedup"
+
+
+@dataclass
+class ThroughputPoint:
+    set_size: int
+    linux_rps: float
+    seuss_rps: float
+    linux_error_rate: float
+    seuss_error_rate: float
+
+    @property
+    def seuss_speedup(self) -> float:
+        return self.seuss_rps / self.linux_rps if self.linux_rps else float("inf")
+
+
+def measure_point(
+    set_size: int,
+    backend: str,
+    invocations: int = DEFAULT_INVOCATIONS,
+    workers: int = DEFAULT_WORKERS,
+    seed: int = 0xF16_4,
+) -> Dict[str, float]:
+    """One trial: throughput and error rate for one backend."""
+    env = Environment()
+    functions = unique_nop_set(set_size)
+    if backend == "seuss":
+        cluster = FaasCluster.with_seuss_node(env)
+    elif backend == "linux":
+        cluster = FaasCluster.with_linux_node(env)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    trial = run_trial(
+        cluster, functions, invocation_count=invocations, workers=workers, seed=seed
+    )
+    return {
+        "rps": trial.metrics.throughput_per_s(STEADY_WARMUP_FRACTION),
+        "error_rate": trial.error_rate,
+    }
+
+
+def run_figure4(
+    set_sizes: Sequence[int] = DEFAULT_SET_SIZES,
+    invocations: int = DEFAULT_INVOCATIONS,
+    workers: int = DEFAULT_WORKERS,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="figure4",
+        title="OpenWhisk platform throughput vs. unique-function set size",
+        headers=[
+            "set size",
+            "Linux (req/s)",
+            "SEUSS (req/s)",
+            "SEUSS/Linux",
+            "Linux err %",
+        ],
+    )
+    points: List[ThroughputPoint] = []
+    for set_size in set_sizes:
+        linux = measure_point(set_size, "linux", invocations, workers)
+        seuss = measure_point(set_size, "seuss", invocations, workers)
+        point = ThroughputPoint(
+            set_size=set_size,
+            linux_rps=linux["rps"],
+            seuss_rps=seuss["rps"],
+            linux_error_rate=linux["error_rate"],
+            seuss_error_rate=seuss["error_rate"],
+        )
+        points.append(point)
+        result.add_row(
+            set_size,
+            point.linux_rps,
+            point.seuss_rps,
+            point.seuss_speedup,
+            100.0 * point.linux_error_rate,
+        )
+
+    first, last = points[0], points[-1]
+    if first.seuss_rps:
+        result.add_note(
+            "smallest set size: Linux/SEUSS = "
+            f"{first.linux_rps / first.seuss_rps:.2f}x "
+            f"(paper: {PAPER_SMALL_SET_LINUX_ADVANTAGE:.2f}x)"
+        )
+    crossover = next(
+        (p.set_size for p in points if p.seuss_rps > p.linux_rps), None
+    )
+    if crossover is not None:
+        result.add_note(
+            f"SEUSS overtakes Linux at a set size of {crossover} functions "
+            "(soon after the Linux cache saturates)"
+        )
+    result.add_note(
+        "largest set size: SEUSS/Linux = "
+        f"{last.seuss_speedup:.1f}x (paper: up to "
+        f"{PAPER_LARGE_SET_SEUSS_SPEEDUP:.0f}x)"
+    )
+    result.raw["points"] = points
+    return result

@@ -1,0 +1,91 @@
+"""Figure 5 — end-to-end request latency percentiles.
+
+Latency of the NOP JavaScript function at three function set sizes,
+reported as the 1st/25th/50th/75th/99th percentiles and the mean, for
+both backends.  The paper's figure makes two points this harness
+preserves: at small set sizes the distributions are comparable (Linux
+slightly ahead — the shim hop), and at saturating set sizes the Linux
+distribution explodes by orders of magnitude while SEUSS's barely moves
+(note the figure's very different Y-axis ranges).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.faas.cluster import FaasCluster
+from repro.metrics.stats import LatencySummary
+from repro.sim import Environment
+from repro.workload.functions import unique_nop_set
+from repro.workload.generator import run_trial
+
+#: The three set sizes of the paper's panels.
+DEFAULT_SET_SIZES = (64, 2048, 65536)
+DEFAULT_WORKERS = 32
+DEFAULT_INVOCATIONS = 4000
+
+
+def measure_latency_summary(
+    set_size: int,
+    backend: str,
+    invocations: int = DEFAULT_INVOCATIONS,
+    workers: int = DEFAULT_WORKERS,
+    seed: int = 0xF16_5,
+) -> LatencySummary:
+    env = Environment()
+    functions = unique_nop_set(set_size)
+    if backend == "seuss":
+        cluster = FaasCluster.with_seuss_node(env)
+    elif backend == "linux":
+        cluster = FaasCluster.with_linux_node(env)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    trial = run_trial(
+        cluster, functions, invocation_count=invocations, workers=workers, seed=seed
+    )
+    return trial.metrics.recorder.summary()
+
+
+def run_figure5(
+    set_sizes: Sequence[int] = DEFAULT_SET_SIZES,
+    invocations: int = DEFAULT_INVOCATIONS,
+    workers: int = DEFAULT_WORKERS,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="figure5",
+        title="End-to-end request latency percentiles (NOP function)",
+        headers=[
+            "backend",
+            "set size",
+            "p1 (ms)",
+            "p25 (ms)",
+            "p50 (ms)",
+            "p75 (ms)",
+            "p99 (ms)",
+            "mean (ms)",
+        ],
+    )
+    summaries: Dict[str, Dict[int, LatencySummary]] = {"linux": {}, "seuss": {}}
+    for backend in ("linux", "seuss"):
+        for set_size in set_sizes:
+            summary = measure_latency_summary(
+                set_size, backend, invocations, workers
+            )
+            summaries[backend][set_size] = summary
+            result.add_row(
+                backend,
+                set_size,
+                summary.p1,
+                summary.p25,
+                summary.p50,
+                summary.p75,
+                summary.p99,
+                summary.mean,
+            )
+    result.add_note(
+        "successful requests only; Linux failures (timeouts) at large set "
+        "sizes are reported by figure4's error column"
+    )
+    result.raw["summaries"] = summaries
+    return result

@@ -1,0 +1,146 @@
+"""CLI: regenerate every table and figure.
+
+Usage::
+
+    seuss-repro all            # everything, full scale
+    seuss-repro table1 table3  # selected experiments
+    seuss-repro all --quick    # reduced scale (CI-sized)
+
+Each experiment prints a paper-vs-measured table; EXPERIMENTS.md is the
+curated record of a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.experiments.base import ExperimentResult, registry
+from repro.experiments.bursts import run_figure6, run_figure7, run_figure8
+from repro.experiments.extensions import (
+    run_ablations,
+    run_autoao,
+    run_distributed,
+    run_ksm_contrast,
+)
+from repro.experiments.codesize import run_codesize
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.sensitivity import run_sensitivity
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+
+
+def _full() -> Dict[str, Callable[[], ExperimentResult]]:
+    return {
+        "table1": lambda: run_table1(),
+        "table2": lambda: run_table2(),
+        "table3": lambda: run_table3(),
+        "figure4": lambda: run_figure4(),
+        "figure5": lambda: run_figure5(),
+        "figure6": lambda: run_figure6(),
+        "figure7": lambda: run_figure7(),
+        "figure8": lambda: run_figure8(),
+        # Extensions beyond the paper's evaluation.
+        "ablations": run_ablations,
+        "distributed": run_distributed,
+        "ksm": lambda: run_ksm_contrast(),
+        "autoao": lambda: run_autoao(),
+        "sensitivity": lambda: run_sensitivity(),
+        "codesize": lambda: run_codesize(),
+    }
+
+
+def _quick() -> Dict[str, Callable[[], ExperimentResult]]:
+    return {
+        "table1": lambda: run_table1(invocations=50),
+        "table2": lambda: run_table2(invocations=10),
+        "table3": lambda: run_table3(
+            density_limit=6000,
+            rate_targets={
+                "microvm": 64,
+                "container": 400,
+                "process": 1000,
+                "seuss_uc": 4000,
+            },
+        ),
+        "figure4": lambda: run_figure4(
+            set_sizes=(64, 1024, 65536), invocations=1500
+        ),
+        "figure5": lambda: run_figure5(invocations=1500),
+        "figure6": lambda: run_figure6(burst_count=6),
+        "figure7": lambda: run_figure7(burst_count=8),
+        "figure8": lambda: run_figure8(burst_count=10),
+        "ablations": run_ablations,
+        "distributed": run_distributed,
+        "ksm": lambda: run_ksm_contrast(containers=60),
+        "autoao": lambda: run_autoao(samples=3),
+        "sensitivity": lambda: run_sensitivity(scales=(1.0, 2.0)),
+        "codesize": lambda: run_codesize(code_sizes_kb=(0.1, 100.0)),
+    }
+
+
+registry.update(_full())
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="seuss-repro",
+        description="Reproduce the tables and figures of SEUSS (EuroSys'20)",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment ids (table1..table3, figure4..figure8) or 'all'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced-scale run (seconds, not minutes)"
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render the burst figures (6-8) as ASCII scatter plots",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write the experiment tables to FILE as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    suite = _quick() if args.quick else _full()
+    wanted = args.experiments
+    if not wanted or "all" in wanted:
+        wanted = list(suite)
+    unknown = [name for name in wanted if name not in suite]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; known: {sorted(suite)}")
+
+    completed: List[ExperimentResult] = []
+    for name in wanted:
+        started = time.time()
+        result = suite[name]()
+        completed.append(result)
+        print(result.to_text())
+        if args.plot and "runs" in result.raw:
+            from repro.metrics.ascii_plot import burst_figure
+
+            for backend, run in result.raw["runs"].items():
+                print()
+                print(burst_figure(run, title=f"{result.title} — {backend}"))
+        print(f"[{name} completed in {time.time() - started:.1f}s]")
+        print()
+    if args.json:
+        from repro.metrics.export import write_experiments_json
+
+        write_experiments_json(args.json, completed)
+        print(f"wrote {len(completed)} experiment tables to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

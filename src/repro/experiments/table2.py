@@ -1,0 +1,75 @@
+"""Table 2 — latency improvements across anticipatory optimizations.
+
+Cold- and warm-start latency of the NOP JavaScript function under the
+three AO configurations: none, network-path only, and
+network + interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.experiments.base import ExperimentResult
+from repro.metrics.stats import mean
+from repro.seuss.config import AOLevel, SeussConfig
+from repro.seuss.node import SeussNode
+from repro.sim import Environment
+from repro.workload.functions import nop_function
+
+#: Paper reference values, ms (Table 2).
+PAPER_COLD_MS = {
+    AOLevel.NONE: 42.0,
+    AOLevel.NETWORK: 16.8,
+    AOLevel.NETWORK_AND_INTERPRETER: 7.5,
+}
+PAPER_WARM_MS = {
+    AOLevel.NONE: 7.6,
+    AOLevel.NETWORK: 5.5,
+    AOLevel.NETWORK_AND_INTERPRETER: 3.5,
+}
+
+
+def measure_ao_level(
+    ao_level: AOLevel, invocations: int = 50
+) -> Tuple[float, float]:
+    """(mean cold ms, mean warm ms) for one AO configuration."""
+    node = SeussNode(Environment(), SeussConfig(ao_level=ao_level))
+    node.initialize_sync()
+    cold_ms = []
+    warm_ms = []
+    for index in range(invocations):
+        fn = nop_function(owner=f"t2-{ao_level.value}-{index}")
+        cold = node.invoke_sync(fn)
+        node.uc_cache.drop_function(fn.key)
+        warm = node.invoke_sync(fn)
+        assert cold.success and warm.success
+        cold_ms.append(cold.latency_ms)
+        warm_ms.append(warm.latency_ms)
+    return mean(cold_ms), mean(warm_ms)
+
+
+def run_table2(invocations: int = 50) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="Latency improvements across anticipatory optimizations",
+        headers=[
+            "AO level",
+            "paper cold (ms)",
+            "measured cold (ms)",
+            "paper warm (ms)",
+            "measured warm (ms)",
+        ],
+    )
+    measured: Dict[AOLevel, Tuple[float, float]] = {}
+    for level in AOLevel:
+        cold_ms, warm_ms = measure_ao_level(level, invocations)
+        measured[level] = (cold_ms, warm_ms)
+        result.add_row(
+            level.value,
+            PAPER_COLD_MS[level],
+            cold_ms,
+            PAPER_WARM_MS[level],
+            warm_ms,
+        )
+    result.raw["measured"] = measured
+    return result

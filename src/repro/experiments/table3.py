@@ -1,0 +1,175 @@
+"""Table 3 — cache density and parallel creation rate.
+
+For each isolation method (Firecracker microVM, Docker container, Linux
+process, SEUSS UC) on an 88 GB / 16-VCPU node:
+
+* **Cache density** — deploy idle Node.js environments sequentially
+  until physical memory saturates.
+* **Creation rate** — deploy from 16 parallel workers and measure the
+  aggregate instances-per-second.  The SEUSS path goes through the shim
+  process, whose single TCP connection is the rate limiter the paper
+  identifies (128.6/s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+from repro.errors import OutOfMemoryError
+from repro.experiments.base import ExperimentResult
+from repro.linuxnode.instances import InstanceKind
+from repro.linuxnode.node import LinuxNode
+from repro.seuss.node import SeussNode
+from repro.seuss.shim import ShimProcess
+from repro.sim import Environment
+
+#: Paper reference values (Table 3).
+PAPER = {
+    "microvm": {"rate": 1.3, "density": 450},
+    "container": {"rate": 5.3, "density": 3000},
+    "process": {"rate": 45.0, "density": 4200},
+    "seuss_uc": {"rate": 128.6, "density": 54000},
+}
+
+#: Display order and labels.
+METHODS = (
+    ("microvm", "Firecracker microVM"),
+    ("container", "Docker w/ overlay2 fs"),
+    ("process", "Linux process"),
+    ("seuss_uc", "SEUSS UC"),
+)
+
+PARALLEL_WORKERS = 16
+
+
+@dataclass
+class MethodMeasurement:
+    method: str
+    density: int
+    creation_rate_per_s: float
+    per_instance_mb: float
+
+
+# -- density -----------------------------------------------------------------
+
+
+def measure_density(method: str, limit: Optional[int] = None) -> MethodMeasurement:
+    """Deploy idle instances until memory saturates (or ``limit``)."""
+    cap = limit if limit is not None else 10**9
+    env = Environment()
+    if method == "seuss_uc":
+        node = SeussNode(env)
+        node.initialize_sync()
+        deployed = []
+        before = node.allocator.allocated_pages
+        while len(deployed) < cap:
+            try:
+                uc = env.run(until=env.process(node.deploy_idle_instance()))
+            except OutOfMemoryError:
+                break
+            deployed.append(uc)
+        used = node.allocator.allocated_pages - before
+    else:
+        kind = InstanceKind(method)
+        node = LinuxNode(env)
+        deployed = []
+        before = node.allocator.allocated_pages
+        while len(deployed) < cap:
+            try:
+                instance = env.run(until=env.process(node.deploy_instance(kind)))
+            except OutOfMemoryError:
+                break
+            deployed.append(instance)
+        used = node.allocator.allocated_pages - before
+    count = len(deployed)
+    per_instance_mb = (used / 256.0 / count) if count else 0.0
+    return MethodMeasurement(
+        method=method,
+        density=count,
+        creation_rate_per_s=0.0,
+        per_instance_mb=per_instance_mb,
+    )
+
+
+# -- parallel creation rate ------------------------------------------------
+
+
+def measure_creation_rate(method: str, target: int) -> float:
+    """Create ``target`` instances from 16 parallel workers; rate/s."""
+    env = Environment()
+    state = {"remaining": target}
+
+    if method == "seuss_uc":
+        node = SeussNode(env)
+        node.initialize_sync()
+        shim = ShimProcess(env, node.costs.platform)
+
+        def worker() -> Generator:
+            while state["remaining"] > 0:
+                state["remaining"] -= 1
+                yield from shim.forward()
+                yield from node.deploy_idle_instance()
+
+    else:
+        kind = InstanceKind(method)
+        node = LinuxNode(env)
+
+        def worker() -> Generator:
+            while state["remaining"] > 0:
+                state["remaining"] -= 1
+                yield from node.deploy_instance(kind)
+
+    started = env.now
+    workers = [env.process(worker()) for _ in range(PARALLEL_WORKERS)]
+    env.run(until=env.all_of(workers))
+    elapsed_s = (env.now - started) / 1000.0
+    return target / elapsed_s if elapsed_s > 0 else 0.0
+
+
+# -- the full table -----------------------------------------------------------
+
+
+def run_table3(
+    density_limit: Optional[int] = None,
+    rate_targets: Optional[Dict[str, int]] = None,
+) -> ExperimentResult:
+    """Reproduce Table 3.
+
+    ``density_limit`` caps the density sweep (for quick runs);
+    ``rate_targets`` overrides how many instances the rate test creates
+    per method (defaults to the measured density, as in the paper).
+    """
+    result = ExperimentResult(
+        experiment_id="table3",
+        title="Cache density limit and parallel (16-way) creation rate",
+        headers=[
+            "isolation method",
+            "paper rate (/s)",
+            "measured rate (/s)",
+            "paper density",
+            "measured density",
+            "per-instance MB",
+        ],
+    )
+    measurements: Dict[str, MethodMeasurement] = {}
+    for method, label in METHODS:
+        density = measure_density(method, limit=density_limit)
+        target = (rate_targets or {}).get(method) or density.density
+        rate = measure_creation_rate(method, target)
+        density.creation_rate_per_s = rate
+        measurements[method] = density
+        result.add_row(
+            label,
+            PAPER[method]["rate"],
+            rate,
+            PAPER[method]["density"],
+            density.density,
+            density.per_instance_mb,
+        )
+    if density_limit is not None:
+        result.add_note(
+            f"density sweep capped at {density_limit} instances per method"
+        )
+    result.raw["measurements"] = measurements
+    return result

@@ -1,0 +1,52 @@
+"""FaaS platform model (Apache OpenWhisk architecture).
+
+The platform pieces the paper keeps unchanged when swapping the compute
+node: the controller and its worker pool, the message-bus hop, the
+function registry, and the external HTTP endpoint used by IO-bound
+functions.  The compute node behind the controller is pluggable — a
+:class:`repro.seuss.node.SeussNode` or a
+:class:`repro.linuxnode.node.LinuxNode`.
+
+``Controller`` and ``FaasCluster`` are imported lazily (PEP 562): they
+wire compute nodes into the platform, and eager imports would create a
+cycle with the node packages that depend on the record types below.
+"""
+
+from repro.faas.httpserver import ExternalHttpServer
+from repro.faas.messagebus import MessageBus
+from repro.faas.records import (
+    FunctionSpec,
+    InvocationPath,
+    InvocationRequest,
+    InvocationResult,
+    InvocationStage,
+    NodeInvocation,
+    PathCounts,
+)
+from repro.faas.registry import FunctionRegistry
+
+__all__ = [
+    "Controller",
+    "ExternalHttpServer",
+    "FaasCluster",
+    "FunctionRegistry",
+    "FunctionSpec",
+    "InvocationPath",
+    "InvocationRequest",
+    "InvocationResult",
+    "InvocationStage",
+    "MessageBus",
+    "NodeInvocation",
+    "PathCounts",
+]
+
+_LAZY = {"Controller": "repro.faas.controller", "FaasCluster": "repro.faas.cluster"}
+
+
+def __getattr__(name):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)

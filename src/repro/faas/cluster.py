@@ -1,0 +1,97 @@
+"""Cluster wiring: the four-machine OpenWhisk testbed in one object.
+
+:class:`FaasCluster` assembles the experiment topology of §7: a control
+plane (controller + bus + registry), one compute node (SEUSS OS or
+Linux), and the external HTTP server.  The two constructors mirror the
+paper's two deployments — ``with_seuss_node`` routes invocations through
+the shim process, ``with_linux_node`` talks to the invoker directly.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Optional
+
+from repro.costs import CostBook, DEFAULT_COSTS
+from repro.faas.controller import Controller
+from repro.faas.httpserver import ExternalHttpServer
+from repro.faas.messagebus import MessageBus
+from repro.faas.records import FunctionSpec, InvocationResult
+from repro.faas.registry import FunctionRegistry
+from repro.seuss.config import SeussConfig
+from repro.seuss.node import SeussNode
+from repro.seuss.shim import ShimProcess
+from repro.sim import Environment, Process
+
+
+class FaasCluster:
+    """A complete FaaS deployment around one compute node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node,
+        costs: CostBook = DEFAULT_COSTS,
+        shim: Optional[ShimProcess] = None,
+        functions: Iterable[FunctionSpec] = (),
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.costs = costs
+        self.registry = FunctionRegistry(functions)
+        self.bus = MessageBus(env)
+        self.shim = shim
+        self.external_server = ExternalHttpServer(env)
+        self.controller = Controller(
+            env, node, costs.platform, shim=shim, bus=self.bus
+        )
+
+    # -- constructors ----------------------------------------------------
+    @classmethod
+    def with_seuss_node(
+        cls,
+        env: Environment,
+        config: Optional[SeussConfig] = None,
+        costs: CostBook = DEFAULT_COSTS,
+        functions: Iterable[FunctionSpec] = (),
+    ) -> "FaasCluster":
+        """OpenWhisk with the SEUSS OS VM behind the shim process."""
+        node = SeussNode(env, config=config, costs=costs)
+        node.initialize_sync()
+        shim = ShimProcess(env, costs.platform)
+        return cls(env, node, costs=costs, shim=shim, functions=functions)
+
+    @classmethod
+    def with_linux_node(
+        cls,
+        env: Environment,
+        config=None,
+        costs: CostBook = DEFAULT_COSTS,
+        functions: Iterable[FunctionSpec] = (),
+    ) -> "FaasCluster":
+        """Stock OpenWhisk: Linux + Docker compute node, no shim."""
+        from repro.linuxnode.node import LinuxNode
+
+        node = LinuxNode(env, config=config, costs=costs)
+        node.start_stemcell_pool()
+        return cls(env, node, costs=costs, shim=None, functions=functions)
+
+    # -- client API ------------------------------------------------------
+    def register(self, fn: FunctionSpec) -> None:
+        self.registry.register(fn)
+
+    def invoke_by_key(self, key: str) -> Process:
+        """Start a client invocation of a registered function."""
+        return self.env.process(self.controller.invoke(self.registry.get(key)))
+
+    def invoke(self, fn: FunctionSpec) -> Process:
+        """Start a client invocation of ``fn`` directly."""
+        return self.env.process(self.controller.invoke(fn))
+
+    def invoke_sync(self, fn: FunctionSpec) -> InvocationResult:
+        """Invoke and drive the simulation until the result is ready."""
+        return self.env.run(until=self.invoke(fn))
+
+    def client_invoke(self, fn: FunctionSpec) -> Generator:
+        """Generator form for embedding in caller processes."""
+        result = yield self.invoke(fn)
+        return result

@@ -1,0 +1,153 @@
+"""The OpenWhisk controller.
+
+The controller fronts the platform: it receives API requests, resolves
+the function in the registry, schedules the invocation onto the compute
+node (via Kafka, and — on the SEUSS deployment — via the shim process),
+awaits the node's answer, and writes the activation record.  The
+aggregate cost of those hops is the calibrated
+``PlatformCostModel.control_plane_ms``, split around the node call.
+
+Client-side timeouts are enforced here: a request that exceeds
+``request_timeout_ms`` returns an error to the client (the behaviour
+behind the 'x' marks in Figures 6–8) while the node-side work is left
+to finish in the background, as on the real platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.costs import PlatformCostModel
+from repro.faas.messagebus import MessageBus
+from repro.faas.quotas import DISABLED, QuotaConfig, QuotaEnforcer
+from repro.faas.records import (
+    FunctionSpec,
+    InvocationPath,
+    InvocationRequest,
+    InvocationResult,
+)
+from repro.seuss.shim import ShimProcess
+from repro.sim import AnyOf, Environment
+
+#: Fractions of the control-plane overhead paid before/after node work
+#: (gateway + schedule + bus publish vs. activation store + response).
+PRE_NODE_FRACTION = 0.7
+
+
+@dataclass
+class ControllerStats:
+    received: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    timed_out: int = 0
+    throttled: int = 0
+
+
+class Controller:
+    """Platform front door; node-agnostic."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node,
+        costs: PlatformCostModel,
+        shim: Optional[ShimProcess] = None,
+        bus: Optional[MessageBus] = None,
+        quotas: QuotaConfig = DISABLED,
+    ) -> None:
+        self.env = env
+        self.node = node
+        self.costs = costs
+        self.shim = shim
+        self.bus = bus or MessageBus(env)
+        #: Per-namespace throttling; the paper disables it (the default).
+        self.quotas = QuotaEnforcer(quotas)
+        self.stats = ControllerStats()
+
+    @property
+    def pre_node_ms(self) -> float:
+        return self.costs.control_plane_ms * PRE_NODE_FRACTION
+
+    @property
+    def post_node_ms(self) -> float:
+        return self.costs.control_plane_ms * (1.0 - PRE_NODE_FRACTION)
+
+    def invoke(self, fn: FunctionSpec) -> Generator:
+        """Sim process: one synchronous client request end to end.
+
+        Returns an :class:`InvocationResult`.
+        """
+        env = self.env
+        request = InvocationRequest(function=fn, sent_at_ms=env.now)
+        self.stats.received += 1
+
+        # Namespace throttling happens at the gateway, before any work.
+        admitted, reason = self.quotas.try_admit(fn.owner, env.now)
+        if not admitted:
+            self.stats.throttled += 1
+            self.stats.failed += 1
+            return InvocationResult(
+                request_id=request.request_id,
+                function_key=fn.key,
+                path=InvocationPath.ERROR,
+                success=False,
+                sent_at_ms=request.sent_at_ms,
+                finished_at_ms=env.now,
+                error=f"throttled: {reason}",
+            )
+
+        try:
+            # API gateway -> controller -> Kafka.
+            self.bus.publish_nowait("invoke", request)
+            yield env.timeout(self.pre_node_ms)
+            yield self.bus.consume("invoke")
+
+            # The SEUSS deployment interposes the shim hop here.
+            if self.shim is not None:
+                yield from self.shim.forward()
+
+            node_process = self.node.invoke(fn)
+            remaining = self.costs.request_timeout_ms - (
+                env.now - request.sent_at_ms
+            )
+            if remaining <= 0:
+                remaining = 0.1
+            deadline = env.timeout(remaining)
+            yield AnyOf(env, [node_process, deadline])
+
+            if not node_process.processed:
+                # Client gave up; the node finishes (or fails) on its own.
+                self.stats.timed_out += 1
+                self.stats.failed += 1
+                return InvocationResult(
+                    request_id=request.request_id,
+                    function_key=fn.key,
+                    path=InvocationPath.ERROR,
+                    success=False,
+                    sent_at_ms=request.sent_at_ms,
+                    finished_at_ms=env.now,
+                    error="request timed out",
+                )
+
+            node_result = node_process.value
+            yield env.timeout(self.post_node_ms)
+        finally:
+            self.quotas.release(fn.owner)
+
+        if node_result.success:
+            self.stats.succeeded += 1
+        else:
+            self.stats.failed += 1
+        return InvocationResult(
+            request_id=request.request_id,
+            function_key=fn.key,
+            path=node_result.path,
+            success=node_result.success,
+            sent_at_ms=request.sent_at_ms,
+            finished_at_ms=env.now,
+            node_latency_ms=node_result.latency_ms,
+            breakdown=dict(node_result.breakdown),
+            error=node_result.error,
+            pages_copied=node_result.pages_copied,
+        )

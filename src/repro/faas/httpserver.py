@@ -1,0 +1,48 @@
+"""The external HTTP endpoint used by IO-bound functions.
+
+The burst experiments dedicate a machine to "an HTTP server used as an
+external endpoint for function I/O": each IO-bound function makes an
+external network call to it, and the server "blocks for 250 ms before
+sending an OK reply" (§7).  IO-bound :class:`~repro.faas.records.FunctionSpec`
+instances set their ``io_wait_ms`` from this server's ``block_ms``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.sim import Environment
+
+
+@dataclass
+class HttpServerStats:
+    requests: int = 0
+    max_concurrent: int = 0
+
+
+class ExternalHttpServer:
+    """Blocks ``block_ms`` per request, then replies OK."""
+
+    def __init__(self, env: Environment, block_ms: float = 250.0) -> None:
+        if block_ms < 0:
+            raise ValueError(f"negative block time {block_ms}")
+        self.env = env
+        self.block_ms = block_ms
+        self._in_flight = 0
+        self.stats = HttpServerStats()
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def handle(self) -> Generator:
+        """Sim process: one request/response exchange."""
+        self._in_flight += 1
+        self.stats.requests += 1
+        self.stats.max_concurrent = max(self.stats.max_concurrent, self._in_flight)
+        try:
+            yield self.env.timeout(self.block_ms)
+        finally:
+            self._in_flight -= 1
+        return "OK"

@@ -1,0 +1,71 @@
+"""Kafka-like message bus.
+
+OpenWhisk routes every invocation through Kafka between the controller
+and the invoker; the SEUSS shim reads the same topics.  The bus here is
+a set of named FIFO topics with a small publish latency.  Its hop cost
+is part of the calibrated control-plane overhead, so the default
+per-publish latency is zero — the class exists so platform components
+communicate the way the real ones do, and so tests can inject bus delay
+or inspect queue depths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator
+
+from repro.sim import Environment, Event, Store
+
+
+@dataclass
+class TopicStats:
+    published: int = 0
+    consumed: int = 0
+    max_depth: int = 0
+
+
+class MessageBus:
+    """Named FIFO topics with optional per-hop latency."""
+
+    def __init__(self, env: Environment, hop_latency_ms: float = 0.0) -> None:
+        if hop_latency_ms < 0:
+            raise ValueError(f"negative hop latency {hop_latency_ms}")
+        self.env = env
+        self.hop_latency_ms = hop_latency_ms
+        self._topics: Dict[str, Store] = {}
+        self.stats: Dict[str, TopicStats] = {}
+
+    def _topic(self, name: str) -> Store:
+        store = self._topics.get(name)
+        if store is None:
+            store = Store(self.env)
+            self._topics[name] = store
+            self.stats[name] = TopicStats()
+        return store
+
+    def depth(self, topic: str) -> int:
+        return len(self._topics.get(topic, ()))
+
+    def publish(self, topic: str, message: Any) -> Generator:
+        """Sim process: publish one message (applies hop latency)."""
+        if self.hop_latency_ms:
+            yield self.env.timeout(self.hop_latency_ms)
+        store = self._topic(topic)
+        yield store.put(message)
+        stats = self.stats[topic]
+        stats.published += 1
+        stats.max_depth = max(stats.max_depth, len(store))
+
+    def publish_nowait(self, topic: str, message: Any) -> None:
+        """Publish without yielding (unbounded topics never block)."""
+        store = self._topic(topic)
+        store.put(message)
+        stats = self.stats[topic]
+        stats.published += 1
+        stats.max_depth = max(stats.max_depth, len(store))
+
+    def consume(self, topic: str) -> Event:
+        """Event that triggers with the next message on ``topic``."""
+        event = self._topic(topic).get()
+        self.stats[topic].consumed += 1
+        return event

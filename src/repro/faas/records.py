@@ -1,0 +1,159 @@
+"""Shared vocabulary: functions, requests, results, and paths.
+
+:class:`InvocationStage` encodes the paper's Figure 1 (stages of a
+function invocation) and :class:`InvocationPath` its three deployment
+paths (§4): **cold** (no cached snapshot — deploy from the runtime
+snapshot, import and compile code, capture a function snapshot), **warm**
+(deploy from the function snapshot, skipping import/compile), and **hot**
+(reuse an idle, fully-constructed execution environment).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+
+
+class InvocationStage(Enum):
+    """Figure 1's stages of a function invocation lifecycle."""
+
+    REQUEST_RECEIVED = "request_received"
+    ENVIRONMENT_CREATED = "environment_created"  # container/VM/UC exists
+    RUNTIME_INITIALIZED = "runtime_initialized"  # interpreter booted (T1 pool)
+    CODE_IMPORTED = "code_imported"  # function source compiled (T2 cache)
+    ARGUMENTS_LOADED = "arguments_loaded"
+    EXECUTED = "executed"
+    RESULT_RETURNED = "result_returned"
+
+
+class InvocationPath(Enum):
+    """Which cache level served the invocation (§4, Figure 2)."""
+
+    COLD = "cold"
+    WARM = "warm"
+    HOT = "hot"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """A serverless function as the platform sees it.
+
+    A function is "unique" when it needs individual isolation (1:1 with
+    a client account), which is what ``owner`` + ``name`` key.  The
+    behavioural knobs model the paper's three workload archetypes: the
+    NOP JavaScript function (``exec_ms=0.5``), CPU-bound burst functions
+    (``exec_ms=150``), and IO-bound background functions that block on
+    an external HTTP call (``io_wait_ms=250``).
+    """
+
+    name: str
+    runtime: str = "nodejs"
+    code_kb: float = 0.1
+    exec_ms: float = 0.5
+    #: Pages the function writes while running (run-time heap).
+    exec_write_pages: int = 38
+    #: Time blocked on external I/O during execution (core released).
+    io_wait_ms: float = 0.0
+    owner: str = "default"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("function name must be non-empty")
+        if self.exec_ms < 0 or self.io_wait_ms < 0 or self.code_kb < 0:
+            raise ConfigError(f"negative cost in function {self.name!r}")
+        if self.exec_write_pages < 0:
+            raise ConfigError(f"negative exec_write_pages in {self.name!r}")
+
+    @property
+    def key(self) -> str:
+        """Unique cache key: one isolated cache slot per client function."""
+        return f"{self.owner}/{self.name}"
+
+    @property
+    def duration_ms(self) -> float:
+        """Wall-clock run time of the function body."""
+        return self.exec_ms + self.io_wait_ms
+
+
+@dataclass
+class PathCounts:
+    """Tally of invocations by deployment path (either node type)."""
+
+    cold: int = 0
+    warm: int = 0
+    hot: int = 0
+    errors: int = 0
+
+    def count(self, path: "InvocationPath") -> None:
+        if path is InvocationPath.COLD:
+            self.cold += 1
+        elif path is InvocationPath.WARM:
+            self.warm += 1
+        elif path is InvocationPath.HOT:
+            self.hot += 1
+        else:
+            self.errors += 1
+
+    @property
+    def total(self) -> int:
+        return self.cold + self.warm + self.hot + self.errors
+
+
+@dataclass
+class NodeInvocation:
+    """Node-side outcome of one invocation (either node type)."""
+
+    path: InvocationPath
+    success: bool
+    latency_ms: float
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    pages_copied: int = 0
+    error: Optional[str] = None
+    function_key: str = ""
+    #: Absolute simulated time each Figure-1 stage completed.
+    stage_times: Dict[InvocationStage, float] = field(default_factory=dict)
+
+    def stages_in_order(self) -> "list[InvocationStage]":
+        return sorted(self.stage_times, key=self.stage_times.get)
+
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class InvocationRequest:
+    """One invocation in flight."""
+
+    function: FunctionSpec
+    sent_at_ms: float
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+
+@dataclass
+class InvocationResult:
+    """The outcome of one invocation, as the client observes it."""
+
+    request_id: int
+    function_key: str
+    path: InvocationPath
+    success: bool
+    sent_at_ms: float
+    finished_at_ms: float
+    #: Latency measured at the compute node ("from the moment the
+    #: invocation request is received by the node to the moment the
+    #: result is returned from the UC", §7).
+    node_latency_ms: float = 0.0
+    #: Per-stage latency decomposition (node side).
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    error: Optional[str] = None
+    pages_copied: int = 0
+
+    @property
+    def latency_ms(self) -> float:
+        """Client-observed end-to-end latency."""
+        return self.finished_at_ms - self.sent_at_ms

@@ -1,0 +1,45 @@
+"""The function registry (CouchDB in OpenWhisk).
+
+Each benchmark trial runs "on a fresh deployment of OpenWhisk that has
+been populated with the set of user functions run by the benchmark"
+(§7); :class:`FunctionRegistry` is that population step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+from repro.errors import ConfigError
+from repro.faas.records import FunctionSpec
+
+
+class FunctionRegistry:
+    """Registered functions, keyed by ``owner/name``."""
+
+    def __init__(self, functions: Iterable[FunctionSpec] = ()) -> None:
+        self._functions: Dict[str, FunctionSpec] = {}
+        for fn in functions:
+            self.register(fn)
+
+    def register(self, fn: FunctionSpec) -> None:
+        if fn.key in self._functions:
+            raise ConfigError(f"function {fn.key!r} already registered")
+        self._functions[fn.key] = fn
+
+    def get(self, key: str) -> FunctionSpec:
+        try:
+            return self._functions[key]
+        except KeyError:
+            raise ConfigError(f"unknown function {key!r}") from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._functions
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __iter__(self) -> Iterator[FunctionSpec]:
+        return iter(self._functions.values())
+
+    def keys(self) -> List[str]:
+        return list(self._functions)

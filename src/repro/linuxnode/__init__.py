@@ -1,0 +1,26 @@
+"""The Linux baseline compute node.
+
+Models the stock OpenWhisk compute node the paper compares against:
+Node.js runtimes isolated in Linux processes, Docker containers (with
+the overlay2 storage driver), or Firecracker microVMs, all sharing a
+virtual Ethernet bridge.  The pathologies the paper measured are modeled
+explicitly — creation latency growing with container count and creation
+parallelism, bridge broadcast cost that is O(endpoints), and connection
+failures as the bridge saturates (§7).
+"""
+
+from repro.linuxnode.bridge import VirtualBridge
+from repro.linuxnode.config import LinuxNodeConfig
+from repro.linuxnode.instances import Instance, InstanceKind, InstanceState
+from repro.linuxnode.node import LinuxNode
+from repro.linuxnode.stemcell import StemcellPool
+
+__all__ = [
+    "Instance",
+    "InstanceKind",
+    "InstanceState",
+    "LinuxNode",
+    "LinuxNodeConfig",
+    "StemcellPool",
+    "VirtualBridge",
+]

@@ -1,0 +1,90 @@
+"""Isolation-method instance models (Table 3's rows).
+
+Each :class:`Instance` is one Node.js runtime environment isolated by
+one of the standard Linux techniques the paper benchmarks: a bare
+process (insufficient isolation — the sharing/latency baseline), a
+Docker container with the overlay2 storage driver, or a Docker-managed
+Firecracker microVM (Kata backend).  Memory footprints and creation
+costs come from :class:`repro.costs.LinuxCostModel`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.costs import LinuxCostModel
+from repro.units import mb_to_pages
+
+
+class InstanceKind(Enum):
+    PROCESS = "process"
+    CONTAINER = "container"
+    MICROVM = "microvm"
+
+    def footprint_mb(self, costs: LinuxCostModel) -> float:
+        if self is InstanceKind.PROCESS:
+            return costs.process_footprint_mb
+        if self is InstanceKind.CONTAINER:
+            return costs.container_footprint_mb
+        return costs.microvm_footprint_mb
+
+    def footprint_pages(self, costs: LinuxCostModel) -> int:
+        return mb_to_pages(self.footprint_mb(costs))
+
+    def destroy_ms(self, costs: LinuxCostModel) -> float:
+        if self is InstanceKind.PROCESS:
+            return costs.process_destroy_ms
+        if self is InstanceKind.CONTAINER:
+            return costs.container_destroy_ms
+        return costs.microvm_destroy_ms
+
+    @property
+    def uses_bridge(self) -> bool:
+        """Containers and microVMs attach veth endpoints to the bridge."""
+        return self is not InstanceKind.PROCESS
+
+
+class InstanceState(Enum):
+    CREATING = "creating"
+    IDLE = "idle"
+    BUSY = "busy"
+    DESTROYED = "destroyed"
+
+
+_instance_ids = itertools.count(1)
+
+
+@dataclass
+class Instance:
+    """One isolated Node.js runtime environment on the Linux node."""
+
+    kind: InstanceKind
+    footprint_pages: int
+    created_at_ms: float
+    state: InstanceState = InstanceState.IDLE
+    #: Function whose code is imported (None for generic/stemcell).
+    fn_key: Optional[str] = None
+    invocations: int = 0
+    instance_id: int = field(default_factory=lambda: next(_instance_ids))
+
+    @property
+    def is_stemcell(self) -> bool:
+        """A pre-warmed runtime with no function code imported yet."""
+        return self.fn_key is None
+
+    def bind(self, fn_key: str) -> None:
+        """Import a function's code, dedicating the instance to it."""
+        if self.fn_key is not None:
+            raise ValueError(
+                f"instance {self.instance_id} already bound to {self.fn_key!r}"
+            )
+        self.fn_key = fn_key
+
+    def __repr__(self) -> str:
+        return (
+            f"Instance(#{self.instance_id} {self.kind.value} "
+            f"{self.state.value} fn={self.fn_key!r})"
+        )

@@ -1,0 +1,112 @@
+"""The OpenWhisk 'stemcell' container pool.
+
+Stemcells are pre-warmed generic Node.js containers held ready so a
+never-before-seen function can skip container creation and pay only the
+code-import cost.  The paper disables them for the throughput trials
+("the automatic initialization of containers hurt platform throughput
+when under heavy load") and re-enables a 256-container pool for the
+burst experiments, where the pool's *repopulation rate* is exactly what
+determines whether consecutive bursts are survivable (§7).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Generator, Optional
+
+from repro.linuxnode.instances import Instance
+
+
+@dataclass
+class StemcellStats:
+    taken: int = 0
+    replenished: int = 0
+    failed_creations: int = 0
+
+
+class StemcellPool:
+    """A target-sized pool of generic containers, kept topped up."""
+
+    def __init__(self, env, node, target: int, concurrency: int) -> None:
+        self.env = env
+        self._node = node
+        self.target = target
+        self.concurrency = concurrency
+        self._pool: Deque[Instance] = deque()
+        self._running = False
+        self.stats = StemcellStats()
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- consumption -------------------------------------------------------
+    def take(self) -> Optional[Instance]:
+        """Take a pre-warmed container, if any are ready."""
+        if not self._pool:
+            return None
+        self.stats.taken += 1
+        return self._pool.popleft()
+
+    def evict_one(self) -> Optional[Instance]:
+        """Give up a stemcell to the node's cache-eviction pressure."""
+        if not self._pool:
+            return None
+        return self._pool.popleft()
+
+    # -- replenishment ----------------------------------------------------
+    def prefill(self) -> int:
+        """Instantly fill the pool to its target (trial setup).
+
+        Each benchmark trial starts "on a fresh deployment of OpenWhisk"
+        whose stemcell pool is already warm; prefilling models the
+        pre-trial warm-up without charging trial time.  Returns how many
+        stemcells were added.
+        """
+        added = 0
+        while len(self._pool) < self.target and self._node.has_container_capacity():
+            instance = self._node.materialize_container()
+            if instance is None:
+                break
+            self._pool.append(instance)
+            added += 1
+        return added
+
+    def start(self) -> None:
+        """Launch the repopulation workers (idempotent)."""
+        if self._running or self.target <= 0:
+            return
+        self._running = True
+        for _ in range(self.concurrency):
+            self.env.process(self._worker())
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _worker(self) -> Generator:
+        """Continuously create generic containers up to the target.
+
+        Creation goes through the node's normal container-creation path,
+        so it competes for the container cache, suffers creation-latency
+        growth, and directly interferes with cold starts — the
+        interference the burst experiment measures.
+        """
+        poll_ms = 250.0
+        while self._running:
+            if (
+                len(self._pool) >= self.target
+                or not self._node.has_container_capacity()
+            ):
+                yield self.env.timeout(poll_ms)
+                continue
+            instance = yield from self._node.create_container(generic=True)
+            if instance is None:
+                self.stats.failed_creations += 1
+                yield self.env.timeout(poll_ms)
+                continue
+            self._pool.append(instance)
+            self.stats.replenished += 1

@@ -1,0 +1,29 @@
+"""Page-granular memory substrate.
+
+This package stands in for the x86 paging hardware and the SEUSS OS
+memory manager: physical frames with refcounted sharing
+(:mod:`repro.mem.frames`), interval-coded page tables
+(:mod:`repro.mem.intervals`), immutable snapshots and snapshot stacks
+(:mod:`repro.mem.snapshot`), and copy-on-write address spaces
+(:mod:`repro.mem.address_space`).
+
+Pages are tracked as half-open integer intervals ``[start, stop)`` of
+virtual page numbers rather than one object per page; a unikernel
+context touches memory in large contiguous extents, so interval coding
+keeps 50,000+ contexts cheap while preserving exact page-level
+accounting (the numbers behind the paper's Table 1 and Table 3).
+"""
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.frames import FrameAllocator, MemoryStats
+from repro.mem.intervals import IntervalSet
+from repro.mem.snapshot import CpuState, Snapshot
+
+__all__ = [
+    "AddressSpace",
+    "CpuState",
+    "FrameAllocator",
+    "IntervalSet",
+    "MemoryStats",
+    "Snapshot",
+]

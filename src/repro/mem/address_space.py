@@ -1,0 +1,299 @@
+"""Copy-on-write address spaces.
+
+An :class:`AddressSpace` is the memory view of one unikernel context.
+Deploying from a snapshot performs the paper's "shallow copy of snapshot
+page table structure": the new space maps every page of the snapshot
+stack read-only and owns nothing.  Writes fault at page granularity;
+each fault allocates a private frame (accounted in the node's
+:class:`~repro.mem.frames.FrameAllocator`) and copies the page.
+
+Dirty tracking mirrors the x86 dirty-bit scheme the prototype uses:
+``capture_snapshot`` collects exactly the pages written since the last
+capture (or since creation) and clears the dirty set, like SEUSS OS
+walking and clearing dirty PTEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import SnapshotError
+from repro.mem.frames import FrameAllocator
+from repro.mem.intervals import IntervalSet
+from repro.mem.paging import page_table_pages_for
+from repro.mem.snapshot import CpuState, Snapshot
+from repro.units import pages_to_mb
+
+#: Allocation categories for per-UC memory.
+PRIVATE_CATEGORY = "uc_private"
+PAGE_TABLE_CATEGORY = "uc_page_table"
+
+
+@dataclass(frozen=True)
+class WriteResult:
+    """Outcome of a write: how much faulted vs. hit private pages."""
+
+    pages_written: int
+    pages_copied: int
+    extents_copied: int
+
+    @property
+    def mb_copied(self) -> float:
+        return pages_to_mb(self.pages_copied)
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of a read: where pages resolved from."""
+
+    pages_read: int
+    pages_private: int
+    pages_from_stack: int
+    pages_unmapped: int
+
+
+class FaultResolution:
+    """How a page fault is resolved (§6 "Capturing Snapshots").
+
+    "Depending on the semantics of a page fault, SEUSS OS may allocate
+    a new page, clone a page from within the backing snapshot stack, or
+    resolve the fault with a read-only mapping to a page within the
+    source snapshot stack."
+    """
+
+    ALLOCATE_NEW = "allocate_new"  # write to an unmapped page
+    CLONE_FROM_STACK = "clone_from_stack"  # write to a snapshot page (COW)
+    MAP_READ_ONLY = "map_read_only"  # read of a snapshot page
+    ALREADY_PRIVATE = "already_private"  # no fault: page is owned
+    INVALID = "invalid"  # read of an unmapped page
+
+
+class AddressSpace:
+    """One unikernel context's paged memory."""
+
+    def __init__(
+        self,
+        allocator: FrameAllocator,
+        base: Optional[Snapshot] = None,
+        name: str = "uc",
+    ) -> None:
+        self.name = name
+        self._allocator = allocator
+        self._base = base
+        self._private = IntervalSet()
+        self._dirty = IntervalSet()
+        self._destroyed = False
+        self._faults = 0
+        if base is not None:
+            if base.deleted:
+                raise SnapshotError(
+                    f"cannot deploy from deleted snapshot {base.name!r}"
+                )
+            base.retain()
+            mapped = base.stack_page_count()
+        else:
+            mapped = 0
+        # The shallow page-table copy is the only memory cost of deploying
+        # from a snapshot.
+        self._page_table_pages = page_table_pages_for(mapped)
+        allocator.allocate(self._page_table_pages, PAGE_TABLE_CATEGORY)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def base(self) -> Optional[Snapshot]:
+        """The snapshot (stack top) this space currently diffs against."""
+        return self._base
+
+    @property
+    def destroyed(self) -> bool:
+        return self._destroyed
+
+    @property
+    def private_pages(self) -> int:
+        """Pages backed by frames this space owns exclusively."""
+        return self._private.page_count
+
+    @property
+    def dirty_pages(self) -> int:
+        """Pages written since the last snapshot capture."""
+        return self._dirty.page_count
+
+    @property
+    def page_table_pages(self) -> int:
+        return self._page_table_pages
+
+    @property
+    def resident_pages(self) -> int:
+        """Physical frames attributable to this space alone."""
+        return self._private.page_count + self._page_table_pages
+
+    @property
+    def resident_mb(self) -> float:
+        return pages_to_mb(self.resident_pages)
+
+    @property
+    def fault_count(self) -> int:
+        """Total COW faults taken over the space's lifetime."""
+        return self._faults
+
+    def mapped_pages(self) -> IntervalSet:
+        """All pages readable in this space (stack + private)."""
+        mapped = (
+            self._base.stack_pages() if self._base is not None else IntervalSet()
+        )
+        mapped.update(self._private)
+        return mapped
+
+    def dirty_set(self) -> IntervalSet:
+        return self._dirty.copy()
+
+    def private_set(self) -> IntervalSet:
+        return self._private.copy()
+
+    # -- memory operations -------------------------------------------------
+    def _check_live(self) -> None:
+        if self._destroyed:
+            raise SnapshotError(f"address space {self.name!r} is destroyed")
+
+    def write(self, start: int, npages: int) -> WriteResult:
+        """Write ``npages`` pages at ``start``.
+
+        Pages without a private copy fault: a frame is allocated per
+        page and the content is copied from the snapshot stack (or
+        zero-filled if unmapped).  Already-private pages are written in
+        place.  Every written page becomes dirty.
+        """
+        self._check_live()
+        if npages < 0:
+            raise ValueError(f"negative page count {npages}")
+        if npages == 0:
+            return WriteResult(0, 0, 0)
+        stop = start + npages
+        gaps = self._private.missing_in_range(start, stop)
+        copied = sum(e - s for s, e in gaps)
+        if copied:
+            self._allocator.allocate(copied, PRIVATE_CATEGORY)
+            for s, e in gaps:
+                self._private.add(s, e)
+            self._faults += copied
+        self._dirty.add(start, stop)
+        return WriteResult(
+            pages_written=npages, pages_copied=copied, extents_copied=len(gaps)
+        )
+
+    def read(self, start: int, npages: int) -> ReadResult:
+        """Read ``npages`` pages at ``start``; no frames are allocated.
+
+        Reads of snapshot pages resolve through the stack with read-only
+        mappings (the fault semantics of §6 "Capturing Snapshots").
+        """
+        self._check_live()
+        if npages < 0:
+            raise ValueError(f"negative page count {npages}")
+        stop = start + npages
+        private = self._private.overlap_size(start, stop)
+        if self._base is not None:
+            stack_pages = self._base.stack_pages()
+            from_stack = (
+                stack_pages.difference(self._private).overlap_size(start, stop)
+            )
+        else:
+            from_stack = 0
+        unmapped = npages - private - from_stack
+        return ReadResult(
+            pages_read=npages,
+            pages_private=private,
+            pages_from_stack=from_stack,
+            pages_unmapped=unmapped,
+        )
+
+    def classify_fault(self, page: int, write: bool) -> str:
+        """The §6 fault taxonomy for one access, without performing it.
+
+        Returns one of the :class:`FaultResolution` constants.
+        """
+        self._check_live()
+        if page in self._private:
+            return FaultResolution.ALREADY_PRIVATE
+        in_stack = (
+            self._base is not None and self._base.resolve(page) is not None
+        )
+        if write:
+            return (
+                FaultResolution.CLONE_FROM_STACK
+                if in_stack
+                else FaultResolution.ALLOCATE_NEW
+            )
+        return (
+            FaultResolution.MAP_READ_ONLY
+            if in_stack
+            else FaultResolution.INVALID
+        )
+
+    # -- snapshotting ----------------------------------------------------
+    def capture_snapshot(
+        self, name: str, cpu: Optional[CpuState] = None, flatten: bool = False
+    ) -> Snapshot:
+        """Capture the dirty pages as a new immutable snapshot.
+
+        The new snapshot's parent is this space's current base, forming
+        a snapshot stack.  After capture the space keeps running with
+        the new snapshot as its base and a cleared dirty set (the x86
+        dirty bits are reset).
+
+        ``flatten=True`` captures a *self-contained* snapshot instead:
+        every mapped page (the whole stack plus the dirty diff) is
+        cloned and the snapshot has no parent.  This is the ablation
+        baseline for §3's snapshot stacks — "armed with only the
+        snapshot mechanism" — and the format used when shipping a
+        snapshot to another node (§9).
+        """
+        self._check_live()
+        if flatten:
+            snapshot = Snapshot(
+                name=name,
+                pages=self.mapped_pages(),
+                allocator=self._allocator,
+                parent=None,
+                cpu=cpu,
+            )
+        else:
+            snapshot = Snapshot(
+                name=name,
+                pages=self._dirty,
+                allocator=self._allocator,
+                parent=self._base,
+                cpu=cpu,
+            )
+        if self._base is not None:
+            self._base.release()
+        self._base = snapshot
+        self._base.retain()
+        self._dirty.clear()
+        return snapshot
+
+    def destroy(self) -> int:
+        """Tear down the space, freeing private frames and page tables.
+
+        Returns the number of pages released (the reclaim yield used by
+        the OOM daemon).
+        """
+        if self._destroyed:
+            return 0
+        freed = self._private.page_count + self._page_table_pages
+        self._allocator.free(self._private.page_count, PRIVATE_CATEGORY)
+        self._allocator.free(self._page_table_pages, PAGE_TABLE_CATEGORY)
+        if self._base is not None:
+            self._base.release()
+            self._base = None
+        self._private.clear()
+        self._dirty.clear()
+        self._destroyed = True
+        return freed
+
+    def __repr__(self) -> str:
+        return (
+            f"AddressSpace({self.name!r}, private={self.private_pages}p, "
+            f"dirty={self.dirty_pages}p, base={self._base and self._base.name})"
+        )

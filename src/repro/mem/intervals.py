@@ -1,0 +1,210 @@
+"""Interval-coded page sets.
+
+:class:`IntervalSet` is the core data structure of the memory substrate:
+a set of page numbers stored as sorted, disjoint, half-open intervals
+``[start, stop)``.  Dirty-page tracking, private (copy-on-write) page
+tables, and snapshot page inventories are all IntervalSets.
+
+The representation is exact — membership, counts, and set algebra all
+operate at single-page granularity — but costs O(number of extents), not
+O(number of pages).  A unikernel context writes memory in a handful of
+contiguous extents (heap growth, stack, arenas), so this is what makes
+caching 50,000+ contexts tractable in a Python simulation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator, List, Tuple
+
+Interval = Tuple[int, int]
+
+
+class IntervalSet:
+    """A set of non-negative integers stored as disjoint intervals."""
+
+    __slots__ = ("_starts", "_stops")
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        self._starts: List[int] = []
+        self._stops: List[int] = []
+        for start, stop in intervals:
+            self.add(start, stop)
+
+    # -- construction helpers ------------------------------------------
+    @classmethod
+    def from_pages(cls, pages: Iterable[int]) -> "IntervalSet":
+        """Build from individual page numbers (test/debug helper)."""
+        out = cls()
+        for page in sorted(set(pages)):
+            out.add(page, page + 1)
+        return out
+
+    def copy(self) -> "IntervalSet":
+        out = IntervalSet()
+        out._starts = list(self._starts)
+        out._stops = list(self._stops)
+        return out
+
+    # -- basic queries ---------------------------------------------------
+    @property
+    def page_count(self) -> int:
+        """Total number of pages in the set."""
+        return sum(e - s for s, e in zip(self._starts, self._stops))
+
+    @property
+    def extent_count(self) -> int:
+        """Number of disjoint intervals (a fragmentation measure)."""
+        return len(self._starts)
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __len__(self) -> int:
+        return self.page_count
+
+    def __contains__(self, page: int) -> bool:
+        idx = bisect_right(self._starts, page) - 1
+        return idx >= 0 and page < self._stops[idx]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._starts == other._starts and self._stops == other._stops
+
+    def __hash__(self) -> int:  # pragma: no cover - identity use only
+        return id(self)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self.intervals())
+
+    def intervals(self) -> List[Interval]:
+        """The disjoint intervals in ascending order."""
+        return list(zip(self._starts, self._stops))
+
+    def pages(self) -> Iterator[int]:
+        """Iterate individual page numbers (test/debug helper)."""
+        for start, stop in zip(self._starts, self._stops):
+            yield from range(start, stop)
+
+    def __repr__(self) -> str:
+        spans = ", ".join(f"[{s},{e})" for s, e in self.intervals())
+        return f"IntervalSet({spans})"
+
+    # -- mutation ----------------------------------------------------------
+    def add(self, start: int, stop: int) -> None:
+        """Insert the interval ``[start, stop)``, merging as needed."""
+        if start < 0:
+            raise ValueError(f"negative page number {start}")
+        if stop <= start:
+            if stop == start:
+                return
+            raise ValueError(f"empty or inverted interval [{start}, {stop})")
+        # Find the window of existing intervals that touch [start, stop).
+        # An interval (s, e) touches if s <= stop and e >= start.
+        lo = bisect_left(self._stops, start)
+        hi = bisect_right(self._starts, stop)
+        if lo < hi:
+            start = min(start, self._starts[lo])
+            stop = max(stop, self._stops[hi - 1])
+        self._starts[lo:hi] = [start]
+        self._stops[lo:hi] = [stop]
+
+    def discard(self, start: int, stop: int) -> None:
+        """Remove the interval ``[start, stop)`` (missing parts ignored)."""
+        if stop <= start:
+            if stop == start:
+                return
+            raise ValueError(f"empty or inverted interval [{start}, {stop})")
+        lo = bisect_right(self._stops, start)
+        hi = bisect_left(self._starts, stop)
+        if lo >= hi:
+            return
+        new_starts: List[int] = []
+        new_stops: List[int] = []
+        # Left remnant of the first overlapped interval.
+        if self._starts[lo] < start:
+            new_starts.append(self._starts[lo])
+            new_stops.append(start)
+        # Right remnant of the last overlapped interval.
+        if self._stops[hi - 1] > stop:
+            new_starts.append(stop)
+            new_stops.append(self._stops[hi - 1])
+        self._starts[lo:hi] = new_starts
+        self._stops[lo:hi] = new_stops
+
+    def clear(self) -> None:
+        self._starts.clear()
+        self._stops.clear()
+
+    def update(self, other: "IntervalSet") -> None:
+        """In-place union with ``other``."""
+        for start, stop in other.intervals():
+            self.add(start, stop)
+
+    def difference_update(self, other: "IntervalSet") -> None:
+        """In-place removal of every page in ``other``."""
+        for start, stop in other.intervals():
+            self.discard(start, stop)
+
+    # -- set algebra ---------------------------------------------------
+    def intersect_range(self, start: int, stop: int) -> List[Interval]:
+        """Intervals of this set that fall within ``[start, stop)``."""
+        if stop <= start:
+            return []
+        out: List[Interval] = []
+        lo = bisect_right(self._stops, start)
+        for idx in range(lo, len(self._starts)):
+            s, e = self._starts[idx], self._stops[idx]
+            if s >= stop:
+                break
+            out.append((max(s, start), min(e, stop)))
+        return out
+
+    def overlap_size(self, start: int, stop: int) -> int:
+        """Number of pages of ``[start, stop)`` present in the set."""
+        return sum(e - s for s, e in self.intersect_range(start, stop))
+
+    def missing_in_range(self, start: int, stop: int) -> List[Interval]:
+        """Sub-intervals of ``[start, stop)`` *not* present in the set.
+
+        This is the copy-on-write fault computation: given a write to
+        ``[start, stop)``, the missing sub-intervals are exactly the
+        pages that must be copied into private frames.
+        """
+        if stop <= start:
+            return []
+        gaps: List[Interval] = []
+        cursor = start
+        for s, e in self.intersect_range(start, stop):
+            if s > cursor:
+                gaps.append((cursor, s))
+            cursor = max(cursor, e)
+        if cursor < stop:
+            gaps.append((cursor, stop))
+        return gaps
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        out = self.copy()
+        out.update(other)
+        return out
+
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        out = IntervalSet()
+        for start, stop in other.intervals():
+            for s, e in self.intersect_range(start, stop):
+                out.add(s, e)
+        return out
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        out = self.copy()
+        out.difference_update(other)
+        return out
+
+    def issubset(self, other: "IntervalSet") -> bool:
+        return all(
+            other.overlap_size(s, e) == e - s for s, e in self.intervals()
+        )
+
+    def isdisjoint(self, other: "IntervalSet") -> bool:
+        return all(other.overlap_size(s, e) == 0 for s, e in self.intervals())

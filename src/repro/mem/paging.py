@@ -1,0 +1,25 @@
+"""x86-64 paging-structure accounting.
+
+SEUSS OS captures "the complete page table structure" with every
+snapshot and shallow-copies it on every deploy (§6).  Both snapshots and
+address spaces therefore carry a small paging-structure overhead in
+addition to their data pages; this module centralizes that arithmetic.
+"""
+
+from __future__ import annotations
+
+#: One 4 KiB page-table page holds 512 PTEs (maps 2 MiB).
+PTES_PER_PAGE = 512
+
+#: Fixed upper-level structures: PML4 + PDPT + PD.
+PAGE_TABLE_ROOT_PAGES = 3
+
+
+def page_table_pages_for(mapped_pages: int) -> int:
+    """Pages of paging structures needed to map ``mapped_pages`` pages."""
+    if mapped_pages < 0:
+        raise ValueError(f"negative mapped_pages {mapped_pages}")
+    if mapped_pages == 0:
+        return PAGE_TABLE_ROOT_PAGES
+    leaves = -(-mapped_pages // PTES_PER_PAGE)  # ceil division
+    return PAGE_TABLE_ROOT_PAGES + leaves

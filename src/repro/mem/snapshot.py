@@ -1,0 +1,201 @@
+"""Snapshots and snapshot stacks.
+
+A :class:`Snapshot` is an immutable record of the pages a unikernel
+context dirtied, plus the captured CPU register state.  Snapshots form
+*stacks* through their ``parent`` link: each snapshot is a page-level
+diff on the one below it, and a page read resolves to the topmost
+snapshot in the stack that owns it (§3 "Snapshot Stacks").
+
+Lifetime follows the paper's rule: "a snapshot can only be deleted
+safely when no other snapshots or UCs depend on it" — enforced here by
+refcounts (:meth:`Snapshot.retain` / :meth:`Snapshot.release` /
+:meth:`Snapshot.delete`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SnapshotError
+from repro.mem.frames import FrameAllocator
+from repro.mem.intervals import IntervalSet
+from repro.units import pages_to_mb
+
+#: Allocation category used for snapshot-owned frames.
+SNAPSHOT_CATEGORY = "snapshot"
+
+
+@dataclass(frozen=True)
+class CpuState:
+    """Register state captured alongside the address space.
+
+    The prototype triggers capture with the x86 debug register, so the
+    snapshot records the exact instruction where execution will resume
+    (§6 "Triggering Snapshots").
+    """
+
+    instruction_pointer: int = 0
+    stack_pointer: int = 0
+    trigger_label: str = ""
+    registers: Dict[str, int] = field(default_factory=dict)
+
+
+class Snapshot:
+    """An immutable page-level diff with a parent lineage."""
+
+    def __init__(
+        self,
+        name: str,
+        pages: IntervalSet,
+        allocator: FrameAllocator,
+        parent: Optional["Snapshot"] = None,
+        cpu: Optional[CpuState] = None,
+    ) -> None:
+        self.name = name
+        self.parent = parent
+        self.cpu = cpu or CpuState()
+        self._pages = pages.copy()
+        self._allocator = allocator
+        self._refs = 0
+        self._deleted = False
+        self._orphan = False
+        # Cloning the dirty pages into snapshot-owned frames is the
+        # capture step; the frames are held until the snapshot is deleted.
+        allocator.allocate(self._pages.page_count, SNAPSHOT_CATEGORY)
+        if parent is not None:
+            parent.retain()
+        # "Upon snapshotting, the complete page table structure is
+        # captured" (§6) — charge the paging-structure pages too.
+        from repro.mem.paging import page_table_pages_for
+
+        self._page_table_pages = page_table_pages_for(self.stack_page_count())
+        allocator.allocate(self._page_table_pages, SNAPSHOT_CATEGORY)
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def pages(self) -> IntervalSet:
+        """The pages this snapshot owns (a *copy*; snapshots are immutable)."""
+        return self._pages.copy()
+
+    @property
+    def page_count(self) -> int:
+        return self._pages.page_count
+
+    @property
+    def size_mb(self) -> float:
+        return pages_to_mb(self._pages.page_count)
+
+    @property
+    def page_table_pages(self) -> int:
+        """Pages of captured paging structures (cache-entry overhead)."""
+        return self._page_table_pages
+
+    @property
+    def footprint_pages(self) -> int:
+        """Total physical frames held: data pages + paging structures."""
+        return self._pages.page_count + self._page_table_pages
+
+    @property
+    def footprint_mb(self) -> float:
+        return pages_to_mb(self.footprint_pages)
+
+    @property
+    def refcount(self) -> int:
+        return self._refs
+
+    @property
+    def deleted(self) -> bool:
+        return self._deleted
+
+    @property
+    def depth(self) -> int:
+        """Number of snapshots in this stack (1 for a base snapshot)."""
+        return 1 + (self.parent.depth if self.parent is not None else 0)
+
+    def stack(self) -> List["Snapshot"]:
+        """The snapshot stack, base first, this snapshot last."""
+        chain: List[Snapshot] = []
+        node: Optional[Snapshot] = self
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        chain.reverse()
+        return chain
+
+    def stack_pages(self) -> IntervalSet:
+        """Union of pages mapped anywhere in the stack."""
+        total = IntervalSet()
+        for snapshot in self.stack():
+            total.update(snapshot._pages)
+        return total
+
+    def stack_page_count(self) -> int:
+        return self.stack_pages().page_count
+
+    def owns(self, page: int) -> bool:
+        return page in self._pages
+
+    def resolve(self, page: int) -> Optional["Snapshot"]:
+        """Find the topmost snapshot in the stack owning ``page``.
+
+        This is the fault-resolution walk SEUSS OS performs when a UC
+        touches a page it has no private copy of.
+        """
+        node: Optional[Snapshot] = self
+        while node is not None:
+            if page in node._pages:
+                return node
+            node = node.parent
+        return None
+
+    # -- lifetime ----------------------------------------------------------
+    def retain(self) -> None:
+        if self._deleted:
+            raise SnapshotError(f"retain on deleted snapshot {self.name!r}")
+        self._refs += 1
+
+    def mark_orphan(self) -> None:
+        """Delete automatically once the last reference drops.
+
+        Used for snapshots that lost the cache-insertion race: two UCs
+        cold-started the same function concurrently, the cache kept the
+        first snapshot, and the loser must be reaped when its only
+        dependent (the UC that captured it) is destroyed.
+        """
+        self._orphan = True
+        if self._refs == 0 and not self._deleted:
+            self.delete()
+
+    def release(self) -> None:
+        if self._refs <= 0:
+            raise SnapshotError(f"release underflow on snapshot {self.name!r}")
+        self._refs -= 1
+        if self._refs == 0 and self._orphan and not self._deleted:
+            self.delete()
+
+    def delete(self) -> None:
+        """Free the snapshot's frames.
+
+        Only legal when nothing depends on it; the prototype only ever
+        deletes function-specific snapshots with no active UCs.
+        """
+        if self._deleted:
+            raise SnapshotError(f"double delete of snapshot {self.name!r}")
+        if self._refs > 0:
+            raise SnapshotError(
+                f"snapshot {self.name!r} still has {self._refs} dependents"
+            )
+        self._allocator.free(
+            self._pages.page_count + self._page_table_pages, SNAPSHOT_CATEGORY
+        )
+        self._deleted = True
+        if self.parent is not None:
+            self.parent.release()
+            self.parent = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Snapshot({self.name!r}, {self.size_mb:.1f} MB, "
+            f"depth={self.depth}, refs={self._refs})"
+        )

@@ -1,0 +1,17 @@
+"""Measurement utilities: percentiles, latency series, throughput."""
+
+from repro.metrics.collector import LatencyRecorder, ThroughputWindow, TrialMetrics
+from repro.metrics.stats import LatencySummary, mean, percentile, summarize
+from repro.metrics.reporter import format_table, paper_vs_measured
+
+__all__ = [
+    "LatencyRecorder",
+    "LatencySummary",
+    "ThroughputWindow",
+    "TrialMetrics",
+    "format_table",
+    "mean",
+    "paper_vs_measured",
+    "percentile",
+    "summarize",
+]

@@ -1,0 +1,98 @@
+"""Terminal scatter plots for the burst figures.
+
+Figures 6-8 are request scatters: x = send time, y = latency (log
+scale), dots for successes and 'x' marks for failures.  This renderer
+reproduces that visual in plain text so `seuss-repro` and the examples
+can *show* the figures, not just summarize them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+#: (x_value, y_value, marker) — markers are single characters.
+Point = Tuple[float, float, str]
+
+
+def _log_floor(value: float) -> float:
+    return math.log10(max(value, 1e-9))
+
+
+def scatter(
+    points: Sequence[Point],
+    width: int = 76,
+    height: int = 16,
+    log_y: bool = True,
+    x_label: str = "time (s)",
+    y_label: str = "latency (ms)",
+    title: str = "",
+) -> str:
+    """Render points as an ASCII scatter plot.
+
+    Later points overwrite earlier ones in a cell, except that failure
+    markers ('x') always win — matching the figures, where errors must
+    stay visible through dense dot clouds.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("plot must be at least 16x4")
+    if not points:
+        return f"{title}\n(no data)"
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    if log_y:
+        y_lo, y_hi = _log_floor(min(ys)), _log_floor(max(ys))
+    else:
+        y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        y_val = _log_floor(y) if log_y else y
+        row = int((y_val - y_lo) / y_span * (height - 1))
+        row = height - 1 - row  # y grows upward
+        if grid[row][col] != "x":
+            grid[row][col] = marker[0]
+
+    def y_tick(row: int) -> str:
+        frac = 1.0 - row / (height - 1)
+        value = y_lo + frac * y_span
+        if log_y:
+            value = 10**value
+        if value >= 1000:
+            return f"{value / 1000:.0f}s"
+        return f"{value:.0f}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        label = y_tick(row) if row % 4 == 0 or row == height - 1 else ""
+        lines.append(f"{label:>8} |{''.join(grid[row])}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    left = f"{x_lo / 1000:.0f}"
+    right = f"{x_hi / 1000:.0f} {x_label}"
+    lines.append(" " * 10 + left + right.rjust(width - len(left)))
+    lines.append(f"{'':>10}y: {y_label}" + ("  [log scale]" if log_y else ""))
+    return "\n".join(lines)
+
+
+def burst_figure(result, title: str = "") -> str:
+    """Render a :class:`~repro.workload.burst.BurstResult` like the paper.
+
+    Background requests are '·', burst requests 'o', failures 'x'.
+    """
+    points: List[Point] = []
+    for sent_ms, latency_ms, success, kind in result.points():
+        if not success:
+            marker = "x"
+        elif kind == "burst":
+            marker = "o"
+        else:
+            marker = "."
+        points.append((sent_ms, max(latency_ms, 0.1), marker))
+    return scatter(points, title=title)

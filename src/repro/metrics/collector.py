@@ -1,0 +1,107 @@
+"""Collectors for trial-level measurements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.faas.records import InvocationPath, InvocationResult
+from repro.metrics.stats import LatencySummary, summarize
+
+
+class LatencyRecorder:
+    """Accumulates invocation results and answers latency questions."""
+
+    def __init__(self) -> None:
+        self.results: List[InvocationResult] = []
+
+    def add(self, result: InvocationResult) -> None:
+        self.results.append(result)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def successes(self) -> List[InvocationResult]:
+        return [r for r in self.results if r.success]
+
+    @property
+    def failures(self) -> List[InvocationResult]:
+        return [r for r in self.results if not r.success]
+
+    def latencies(self, path: Optional[InvocationPath] = None) -> List[float]:
+        """Latencies of successful requests, optionally one path only."""
+        return [
+            r.latency_ms
+            for r in self.results
+            if r.success and (path is None or r.path is path)
+        ]
+
+    def path_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            counts[result.path.value] = counts.get(result.path.value, 0) + 1
+        return counts
+
+    def summary(self, path: Optional[InvocationPath] = None) -> LatencySummary:
+        return summarize(self.latencies(path))
+
+
+@dataclass
+class ThroughputWindow:
+    """Completed-requests-per-second over a time window."""
+
+    start_ms: float
+    end_ms: float
+    completed: int
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+    @property
+    def per_second(self) -> float:
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.completed * 1000.0 / self.duration_ms
+
+
+@dataclass
+class TrialMetrics:
+    """Everything measured in one benchmark trial."""
+
+    recorder: LatencyRecorder = field(default_factory=LatencyRecorder)
+    started_ms: float = 0.0
+    finished_ms: float = 0.0
+
+    @property
+    def duration_ms(self) -> float:
+        return self.finished_ms - self.started_ms
+
+    def throughput_per_s(self, warmup_fraction: float = 0.0) -> float:
+        """Successful requests per second, optionally discarding warmup.
+
+        The paper's throughput trials send "a continuous stream of
+        invocation requests ... until the measured throughput reaches a
+        point of stability"; discarding a warmup fraction of the trial
+        approximates reading the stable region.
+        """
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError(f"warmup_fraction {warmup_fraction} outside [0, 1)")
+        cutoff = self.started_ms + self.duration_ms * warmup_fraction
+        completed = [
+            r
+            for r in self.recorder.successes
+            if r.finished_at_ms >= cutoff
+        ]
+        span_ms = self.finished_ms - cutoff
+        if span_ms <= 0:
+            return 0.0
+        return len(completed) * 1000.0 / span_ms
+
+    @property
+    def error_rate(self) -> float:
+        total = len(self.recorder)
+        if not total:
+            return 0.0
+        return len(self.recorder.failures) / total

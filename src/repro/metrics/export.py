@@ -1,0 +1,91 @@
+"""Machine-readable export of experiment results.
+
+The harnesses print human tables; these helpers write the same data as
+CSV (per-request samples, scatter points) and JSON (experiment rows)
+for downstream plotting or analysis outside this repo.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Iterable, Sequence
+
+from repro.experiments.base import ExperimentResult
+from repro.faas.records import InvocationResult
+
+
+def write_results_csv(path: str, results: Iterable[InvocationResult]) -> int:
+    """Write per-request samples (one row per invocation); returns rows."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "request_id",
+                "function_key",
+                "path",
+                "success",
+                "sent_at_ms",
+                "finished_at_ms",
+                "latency_ms",
+                "node_latency_ms",
+                "error",
+            ]
+        )
+        for result in results:
+            writer.writerow(
+                [
+                    result.request_id,
+                    result.function_key,
+                    result.path.value,
+                    int(result.success),
+                    f"{result.sent_at_ms:.3f}",
+                    f"{result.finished_at_ms:.3f}",
+                    f"{result.latency_ms:.3f}",
+                    f"{result.node_latency_ms:.3f}",
+                    result.error or "",
+                ]
+            )
+            count += 1
+    return count
+
+
+def write_burst_points_csv(path: str, burst_result) -> int:
+    """Write a burst run's scatter points (Figures 6-8 data)."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["sent_at_ms", "latency_ms", "success", "kind"])
+        for sent, latency, success, kind in burst_result.points():
+            writer.writerow([f"{sent:.3f}", f"{latency:.3f}", int(success), kind])
+            count += 1
+    return count
+
+
+def experiment_to_dict(result: ExperimentResult) -> dict:
+    """JSON-serializable form of an experiment's table."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "headers": list(result.headers),
+        "rows": [[_jsonable(value) for value in row] for row in result.rows],
+        "notes": list(result.notes),
+    }
+
+
+def write_experiments_json(
+    path: str, results: Sequence[ExperimentResult]
+) -> None:
+    """Write one JSON document holding several experiments' tables."""
+    payload = {
+        "experiments": [experiment_to_dict(result) for result in results]
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def _jsonable(value):
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,97 @@
+"""Periodic state sampling.
+
+A :class:`Monitor` is a background simulation process that samples a
+user-supplied probe at a fixed interval, producing a time series —
+container-cache occupancy during a burst run, free memory under churn,
+snapshot-cache size over a throughput trial.  The burst experiments use
+it to expose *why* the Linux node fails around the 5th burst (the cache
+occupancy marches into its limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Optional, Tuple
+
+from repro.sim import Environment
+
+#: A probe returns one numeric observation.
+Probe = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class Sample:
+    at_ms: float
+    value: float
+
+
+class Monitor:
+    """Samples ``probe()`` every ``interval_ms`` until stopped."""
+
+    def __init__(
+        self,
+        env: Environment,
+        probe: Probe,
+        interval_ms: float = 1000.0,
+        name: str = "monitor",
+    ) -> None:
+        if interval_ms <= 0:
+            raise ValueError(f"interval_ms must be positive, got {interval_ms}")
+        self.env = env
+        self.probe = probe
+        self.interval_ms = interval_ms
+        self.name = name
+        self.samples: List[Sample] = []
+        self._running = False
+
+    # -- control ------------------------------------------------------
+    def start(self) -> "Monitor":
+        if not self._running:
+            self._running = True
+            self.env.process(self._loop())
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self) -> Generator:
+        while self._running:
+            self.samples.append(Sample(self.env.now, float(self.probe())))
+            yield self.env.timeout(self.interval_ms)
+
+    # -- series queries ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def values(self) -> List[float]:
+        return [sample.value for sample in self.samples]
+
+    def series(self) -> List[Tuple[float, float]]:
+        return [(sample.at_ms, sample.value) for sample in self.samples]
+
+    def max(self) -> float:
+        if not self.samples:
+            raise ValueError(f"{self.name}: no samples")
+        return max(self.values())
+
+    def min(self) -> float:
+        if not self.samples:
+            raise ValueError(f"{self.name}: no samples")
+        return min(self.values())
+
+    def value_at(self, at_ms: float) -> Optional[float]:
+        """Most recent sample at or before ``at_ms``."""
+        best = None
+        for sample in self.samples:
+            if sample.at_ms <= at_ms:
+                best = sample.value
+            else:
+                break
+        return best
+
+    def first_time_reaching(self, threshold: float) -> Optional[float]:
+        """When the series first reached ``threshold`` (or None)."""
+        for sample in self.samples:
+            if sample.value >= threshold:
+                return sample.at_ms
+        return None

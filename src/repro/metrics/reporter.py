@@ -1,0 +1,68 @@
+"""Plain-text table rendering for experiment harnesses.
+
+Every experiment prints a "paper vs. measured" table so the EXPERIMENTS
+log can be regenerated mechanically; these helpers keep the formatting
+in one place (and dependency-free).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    rows: Sequence[Sequence[object]],
+    label_header: str = "quantity",
+    extra_headers: Optional[Sequence[str]] = None,
+) -> str:
+    """Render (label, paper, measured[, extras...]) rows with a ratio.
+
+    Ratio is measured/paper when both are numeric, else '-'.
+    """
+    headers: List[str] = [label_header, "paper", "measured", "measured/paper"]
+    if extra_headers:
+        headers.extend(extra_headers)
+    table_rows = []
+    for row in rows:
+        label, paper, measured = row[0], row[1], row[2]
+        extras = list(row[3:])
+        if isinstance(paper, (int, float)) and isinstance(measured, (int, float)) and paper:
+            ratio = f"{measured / paper:.2f}x"
+        else:
+            ratio = "-"
+        table_rows.append([label, paper, measured, ratio] + extras)
+    return format_table(headers, table_rows)

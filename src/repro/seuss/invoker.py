@@ -1,0 +1,217 @@
+"""The three invocation paths (§4, Figure 2).
+
+``invoke_on_node`` is a simulation process that services one invocation
+on a :class:`~repro.seuss.node.SeussNode`, choosing the **hot**, **warm**
+or **cold** path by cache state and charging each stage its calibrated
+cost while performing the real memory mechanics against the page
+substrate.  The per-stage breakdown it returns is what the Table 1 / 2
+experiments report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator
+
+from repro.errors import OutOfMemoryError
+from repro.faas.records import (
+    FunctionSpec,
+    InvocationPath,
+    InvocationStage,
+    NodeInvocation,
+)
+from repro.unikernel.context import UnikernelContext
+
+#: Stage keys used in latency breakdowns.
+STAGE_UC_CREATE = "uc_create"
+STAGE_CONNECT = "connect"
+STAGE_FAULTS = "cow_faults"
+STAGE_NETWORK_FIRST_USE = "network_first_use"
+STAGE_IMPORT = "import_compile"
+STAGE_INTERP_FIRST_USE = "interpreter_first_use"
+STAGE_CAPTURE = "snapshot_capture"
+STAGE_ARGS = "arg_import"
+STAGE_EXEC = "execute"
+STAGE_IO_WAIT = "io_wait"
+STAGE_RESULT = "result_return"
+
+
+def invoke_on_node(node, fn: FunctionSpec) -> Generator:
+    """Service one invocation; yields sim events, returns NodeInvocation.
+
+    ``node`` is a :class:`~repro.seuss.node.SeussNode` (typed loosely to
+    avoid an import cycle).
+    """
+    env = node.env
+    costs = node.costs.seuss
+    started = env.now
+    breakdown: Dict[str, float] = {}
+    stage_times: Dict[InvocationStage, float] = {
+        InvocationStage.REQUEST_RECEIVED: started
+    }
+    pages_copied = 0
+
+    def charge(stage: str, duration: float) -> float:
+        breakdown[stage] = breakdown.get(stage, 0.0) + duration
+        return duration
+
+    def reached(stage: InvocationStage) -> None:
+        stage_times[stage] = env.now
+
+    # -- path selection -----------------------------------------------
+    uc = node.uc_cache.pop(fn.key)
+    if uc is not None:
+        path = InvocationPath.HOT
+        fn_snapshot = None
+    else:
+        fn_snapshot = node.snapshot_cache.get(fn.key)
+        path = InvocationPath.WARM if fn_snapshot is not None else InvocationPath.COLD
+
+    core = node.cores.request()
+    yield core
+    try:
+        if path is not InvocationPath.HOT:
+            runtime_record = node.runtime_record(fn.runtime)
+            base = fn_snapshot if path is InvocationPath.WARM else runtime_record.snapshot
+            try:
+                uc = UnikernelContext(
+                    node.allocator, runtime_record.runtime, base=base
+                )
+            except OutOfMemoryError as exc:
+                node.stats.errors += 1
+                return NodeInvocation(
+                    path=InvocationPath.ERROR,
+                    success=False,
+                    latency_ms=env.now - started,
+                    breakdown=breakdown,
+                    error=f"out of memory creating UC: {exc}",
+                    function_key=fn.key,
+                )
+            yield env.timeout(charge(STAGE_UC_CREATE, costs.uc_create_ms))
+            reached(InvocationStage.ENVIRONMENT_CREATED)
+            # Deploying from any snapshot resumes inside an initialized
+            # interpreter — the whole point of the method.
+            reached(InvocationStage.RUNTIME_INITIALIZED)
+
+            result = uc.start_listening()
+            pages_copied += result.pages_copied
+            # Map the control channel on the resident core's proxy; it
+            # is unmapped automatically when the UC is destroyed.
+            node.network.connect_uc(uc)
+            result = uc.accept_connection()
+            pages_copied += result.pages_copied
+            yield env.timeout(charge(STAGE_CONNECT, costs.tcp_connect_ms))
+
+            if path is InvocationPath.COLD:
+                yield env.timeout(
+                    charge(STAGE_FAULTS, costs.cold_deploy_fault_ms)
+                )
+                if not runtime_record.ao_level.network:
+                    yield env.timeout(
+                        charge(
+                            STAGE_NETWORK_FIRST_USE, costs.network_first_use_ms
+                        )
+                    )
+                result = uc.import_function(fn.key, fn.code_kb)
+                pages_copied += result.pages_copied
+                yield env.timeout(
+                    charge(STAGE_IMPORT, costs.import_compile_ms(fn.code_kb))
+                )
+                if not runtime_record.ao_level.interpreter:
+                    yield env.timeout(
+                        charge(
+                            STAGE_INTERP_FIRST_USE,
+                            costs.interpreter_first_use_ms,
+                        )
+                    )
+                snapshot = uc.capture_snapshot(
+                    f"fn:{fn.key}",
+                    trigger_label="code_compiled",
+                    flatten=not node.config.snapshot_stacks,
+                )
+                yield env.timeout(
+                    charge(
+                        STAGE_CAPTURE, costs.snapshot_capture_ms(snapshot.size_mb)
+                    )
+                )
+                if not node.snapshot_cache.put(fn.key, snapshot):
+                    # Lost the insertion race to a concurrent cold start;
+                    # reap this duplicate when its UC is destroyed.
+                    snapshot.mark_orphan()
+                reached(InvocationStage.CODE_IMPORTED)
+            else:  # WARM
+                uc.restore_function(fn.key, fn.code_kb)
+                # Warm-path COW cost scales with the function *diff*;
+                # for a flattened snapshot (no lineage) the diff is its
+                # size over the shared runtime image.
+                diff_mb = fn_snapshot.size_mb
+                if fn_snapshot.parent is None:
+                    diff_mb = max(
+                        0.0,
+                        fn_snapshot.size_mb - runtime_record.snapshot.size_mb,
+                    )
+                yield env.timeout(
+                    charge(
+                        STAGE_FAULTS,
+                        costs.warm_fault_ms(
+                            diff_mb,
+                            runtime_record.ao_level.interpreter,
+                        ),
+                    )
+                )
+                # Inherited through the function snapshot.
+                reached(InvocationStage.CODE_IMPORTED)
+        else:
+            reached(InvocationStage.CODE_IMPORTED)  # resident in the idle UC
+
+        # -- common tail: args, execute, result -------------------------
+        result = uc.import_args()
+        pages_copied += result.pages_copied
+        yield env.timeout(charge(STAGE_ARGS, costs.arg_import_ms))
+        reached(InvocationStage.ARGUMENTS_LOADED)
+
+        result = uc.execute(fn.exec_write_pages)
+        pages_copied += result.pages_copied
+        yield env.timeout(charge(STAGE_EXEC, fn.exec_ms))
+        if fn.io_wait_ms > 0:
+            # Blocked on external I/O: the poll-based UC releases its
+            # core while waiting.
+            node.cores.release(core)
+            core = None
+            yield env.timeout(charge(STAGE_IO_WAIT, fn.io_wait_ms))
+            core = node.cores.request()
+            yield core
+        reached(InvocationStage.EXECUTED)
+        yield env.timeout(charge(STAGE_RESULT, costs.result_return_ms))
+        reached(InvocationStage.RESULT_RETURNED)
+    except OutOfMemoryError as exc:
+        if uc is not None:
+            uc.destroy()
+        node.stats.errors += 1
+        return NodeInvocation(
+            path=InvocationPath.ERROR,
+            success=False,
+            latency_ms=env.now - started,
+            breakdown=breakdown,
+            pages_copied=pages_copied,
+            error=f"out of memory during {path.value} path: {exc}",
+            function_key=fn.key,
+        )
+    finally:
+        if core is not None:
+            node.cores.release(core)
+
+    # -- cache the idle UC for hot reuse --------------------------------
+    cached = node.config.cache_idle_ucs and node.uc_cache.put(fn.key, uc)
+    if not cached:
+        uc.destroy()
+
+    node.stats.count(path)
+    return NodeInvocation(
+        path=path,
+        success=True,
+        latency_ms=env.now - started,
+        breakdown=breakdown,
+        pages_copied=pages_copied,
+        function_key=fn.key,
+        stage_times=stage_times,
+    )

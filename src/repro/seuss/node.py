@@ -1,0 +1,243 @@
+"""The SEUSS OS compute node.
+
+:class:`SeussNode` ties the pieces together the way Figure 2 does: at
+initialization it boots one UC per supported runtime, applies the
+configured anticipatory optimizations, and captures the **base runtime
+snapshot** ("relatively large in memory use but there are few of them:
+only one per supported interpreter").  After that every invocation is
+served by :func:`repro.seuss.invoker.invoke_on_node` through one of the
+cold / warm / hot paths, and the OOM daemon keeps memory pressure in
+check by reclaiming idle UCs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional
+
+from repro.costs import CostBook, DEFAULT_COSTS
+from repro.errors import ConfigError
+from repro.faas.records import (
+    FunctionSpec,
+    InvocationPath,
+    NodeInvocation,
+    PathCounts,
+)
+from repro.mem.frames import FrameAllocator, node_allocator
+from repro.mem.snapshot import Snapshot
+from repro.seuss.ao import AOReport, apply_anticipatory_optimizations
+from repro.seuss.config import AOLevel, SeussConfig
+from repro.seuss.invoker import invoke_on_node
+from repro.seuss.snapshots import SnapshotCache
+from repro.seuss.uc_cache import IdleUCCache
+from repro.sim import Environment, Process, Resource
+from repro.unikernel.context import UnikernelContext
+from repro.unikernel.interpreters import RuntimeSpec, get_runtime
+from repro.unikernel.rumprun import boot_stages
+from repro.units import mb_to_pages
+
+
+@dataclass
+class RuntimeRecord:
+    """One supported interpreter: its spec, base snapshot, and AO state."""
+
+    runtime: RuntimeSpec
+    snapshot: Snapshot
+    ao_level: AOLevel
+    ao_report: AOReport
+    boot_ms: float
+
+
+#: Per-path invocation tallies (shared shape with the Linux node).
+NodeStats = PathCounts
+
+
+class SeussNode:
+    """A FaaS compute node running the SEUSS OS prototype."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: Optional[SeussConfig] = None,
+        costs: CostBook = DEFAULT_COSTS,
+    ) -> None:
+        self.env = env
+        self.config = config or SeussConfig()
+        self.costs = costs
+        self.allocator: FrameAllocator = node_allocator(
+            self.config.memory_gb, self.config.system_reserved_mb
+        )
+        self.allocator.pressure_threshold_pages = mb_to_pages(
+            self.config.oom_threshold_mb
+        )
+        self.cores = Resource(env, self.config.cores)
+        self.uc_cache = IdleUCCache(self.config.idle_ucs_per_function)
+        self.snapshot_cache = SnapshotCache(
+            self.config.snapshot_cache_budget_mb,
+            drop_idle=self.uc_cache.drop_function,
+        )
+        # The trivial OOM daemon: reclaim idle UCs under pressure (§6).
+        self.allocator.add_reclaim_hook(self.uc_cache.reclaim_pages)
+        # Per-core network proxies (§6 "Networking").
+        from repro.net.proxy import NodeNetwork
+
+        self.network = NodeNetwork(self.config.cores)
+        self._runtimes: Dict[str, RuntimeRecord] = {}
+        self.stats = NodeStats()
+        self.initialized = False
+
+    # -- initialization ----------------------------------------------------
+    def initialize(self) -> Generator:
+        """Sim process: boot runtimes and capture base snapshots.
+
+        Run with ``env.process(node.initialize())`` then
+        ``env.run(until=...)``, or via :meth:`initialize_sync`.
+        """
+        for name in self.config.runtimes:
+            runtime = get_runtime(name)
+            boot_uc = UnikernelContext(
+                self.allocator, runtime, name=f"boot-{name}"
+            )
+            boot = boot_stages(runtime, self.costs.seuss)
+            yield self.env.timeout(boot.total_ms)
+            boot_uc.boot()
+            ao_report = apply_anticipatory_optimizations(
+                boot_uc, self.config.ao_level, self.costs.seuss
+            )
+            if ao_report.time_spent_ms:
+                yield self.env.timeout(ao_report.time_spent_ms)
+            snapshot = boot_uc.capture_snapshot(
+                f"runtime:{name}", trigger_label="driver_started"
+            )
+            yield self.env.timeout(
+                self.costs.seuss.snapshot_capture_ms(snapshot.size_mb)
+            )
+            # The node holds the runtime snapshot for its lifetime.
+            snapshot.retain()
+            self._runtimes[name] = RuntimeRecord(
+                runtime=runtime,
+                snapshot=snapshot,
+                ao_level=self.config.ao_level,
+                ao_report=ao_report,
+                boot_ms=boot.total_ms,
+            )
+            boot_uc.destroy()
+        self.initialized = True
+
+    def initialize_sync(self) -> None:
+        """Initialize on a fresh environment, running it to completion."""
+        process = self.env.process(self.initialize())
+        self.env.run(until=process)
+
+    # -- runtime lookups ----------------------------------------------------
+    def runtime_record(self, name: str) -> RuntimeRecord:
+        try:
+            return self._runtimes[name]
+        except KeyError:
+            if not self.initialized:
+                raise ConfigError(
+                    "node not initialized; call initialize_sync() first"
+                ) from None
+            raise ConfigError(
+                f"runtime {name!r} not supported by this node "
+                f"(have {sorted(self._runtimes)})"
+            ) from None
+
+    @property
+    def runtime_records(self) -> Dict[str, RuntimeRecord]:
+        return dict(self._runtimes)
+
+    # -- invocation ------------------------------------------------------
+    def invoke(self, fn: FunctionSpec) -> Process:
+        """Start servicing an invocation; returns its sim process.
+
+        The process's value is a
+        :class:`~repro.seuss.invoker.NodeInvocation`.
+        """
+        if not self.initialized:
+            raise ConfigError("node not initialized; call initialize_sync() first")
+        return self.env.process(invoke_on_node(self, fn))
+
+    def invoke_sync(self, fn: FunctionSpec) -> NodeInvocation:
+        """Invoke and run the environment until completion (micro tests)."""
+        process = self.invoke(fn)
+        return self.env.run(until=process)
+
+    # -- idle-instance deployment (Table 3 density / creation tests) --------
+    def deploy_idle_instance(self, runtime_name: str = "nodejs") -> Generator:
+        """Sim process: deploy one UC to its listening state and park it.
+
+        This is the Table 3 workload: a Node.js environment "blocked on
+        a port awaiting a new connection (no code has been imported
+        yet)".  Returns the deployed :class:`UnikernelContext`.
+        """
+        record = self.runtime_record(runtime_name)
+        core = self.cores.request()
+        yield core
+        try:
+            uc = UnikernelContext(
+                self.allocator, record.runtime, base=record.snapshot
+            )
+            yield self.env.timeout(self.costs.seuss.uc_create_ms)
+            uc.start_listening()
+        finally:
+            self.cores.release(core)
+        return uc
+
+    # -- distributed cache support (§9) --------------------------------------
+    def install_snapshot(
+        self, fn_key: str, pages, runtime_name: str = "nodejs"
+    ) -> Snapshot:
+        """Install a function-snapshot diff received from a peer node.
+
+        Because all nodes of a cluster share identical runtime images
+        and virtual layouts, a peer's diff pages are directly valid
+        here: the replica is re-parented onto this node's own runtime
+        snapshot ("cloned and deployed across machines with similar
+        hardware profiles", §9).  Returns the cached snapshot.
+        """
+        from repro.mem.snapshot import CpuState
+
+        record = self.runtime_record(runtime_name)
+        snapshot = Snapshot(
+            name=f"fn:{fn_key}:replica",
+            pages=pages,
+            allocator=self.allocator,
+            parent=record.snapshot,
+            cpu=CpuState(trigger_label="replica_installed"),
+        )
+        if not self.snapshot_cache.put(fn_key, snapshot):
+            snapshot.delete()  # raced with a local cold start
+            return self.snapshot_cache.get(fn_key)
+        return snapshot
+
+    # -- introspection --------------------------------------------------
+    def memory_stats(self):
+        return self.allocator.stats()
+
+    def overcommit_ratio(self) -> float:
+        """Mapped virtual memory over physical memory actually held.
+
+        COW sharing makes memory "highly overcommitted" (§6 "Memory
+        Management"): every idle UC maps the full runtime image while
+        privately holding only a couple of MB.  The OOM daemon is what
+        makes that safe.
+        """
+        mapped = 0
+        for bucket in self.uc_cache._idle.values():
+            for uc in bucket:
+                mapped += uc.space.mapped_pages().page_count
+        held = (
+            self.allocator.category_pages("uc_private")
+            + self.allocator.category_pages("uc_page_table")
+        )
+        if held == 0:
+            return 1.0
+        return mapped / held
+
+    def __repr__(self) -> str:
+        return (
+            f"SeussNode(runtimes={sorted(self._runtimes)}, "
+            f"snapshots={len(self.snapshot_cache)}, "
+            f"idle_ucs={len(self.uc_cache)}, stats={self.stats})"
+        )

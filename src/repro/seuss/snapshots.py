@@ -1,0 +1,146 @@
+"""The function-snapshot cache.
+
+SEUSS "maintains a cache of snapshots as well as a cache of idle UCs"
+(§4).  This module is the former: function key → function snapshot,
+bounded by a memory budget, with LRU eviction.
+
+Eviction respects snapshot-stack lifetime rules: "we address this
+concern in our prototype by only deleting function-specific snapshots
+that have no active UCs" (§6).  A snapshot whose refcount shows live
+dependents is skipped; the cache asks its ``drop_idle`` callback to
+destroy idle UCs first, which releases their references.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.mem.snapshot import Snapshot
+from repro.units import mb_to_pages, pages_to_mb
+
+
+@dataclass
+class SnapshotCacheStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    eviction_failures: int = 0
+
+
+class SnapshotCache:
+    """LRU cache of function-specific snapshots, bounded by memory."""
+
+    def __init__(
+        self,
+        budget_mb: float,
+        drop_idle: Optional[Callable[[str], int]] = None,
+    ) -> None:
+        self._budget_pages = mb_to_pages(budget_mb)
+        self._entries: "OrderedDict[str, Snapshot]" = OrderedDict()
+        self._held_pages = 0
+        #: Callback that destroys all idle UCs of a function (returns
+        #: how many were destroyed), releasing snapshot references so
+        #: eviction can proceed.
+        self._drop_idle = drop_idle or (lambda key: 0)
+        #: Optional callback invoked with the key of every evicted
+        #: entry (used by the distributed registry to drop replicas).
+        self.evict_listener: Optional[Callable[[str], None]] = None
+        self.stats = SnapshotCacheStats()
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def held_mb(self) -> float:
+        return pages_to_mb(self._held_pages)
+
+    @property
+    def budget_mb(self) -> float:
+        return pages_to_mb(self._budget_pages)
+
+    def capacity_estimate(self, snapshot_footprint_pages: int) -> int:
+        """How many snapshots of a given footprint fit in the budget."""
+        if snapshot_footprint_pages <= 0:
+            raise ValueError("snapshot footprint must be positive")
+        return self._budget_pages // snapshot_footprint_pages
+
+    # -- cache operations ---------------------------------------------------
+    def get(self, key: str) -> Optional[Snapshot]:
+        snapshot = self._entries.get(key)
+        if snapshot is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return snapshot
+
+    def put(self, key: str, snapshot: Snapshot) -> bool:
+        """Insert a snapshot, evicting LRU entries to fit the budget.
+
+        Returns ``False`` when an entry for ``key`` already exists (a
+        concurrent cold path won the insertion race); the caller should
+        :meth:`~repro.mem.snapshot.Snapshot.mark_orphan` its duplicate.
+        """
+        if key in self._entries:
+            return False
+        footprint = snapshot.footprint_pages
+        self._make_room(footprint)
+        snapshot.retain()
+        self._entries[key] = snapshot
+        self._held_pages += footprint
+        self.stats.insertions += 1
+        return True
+
+    def _make_room(self, needed_pages: int) -> None:
+        attempts = len(self._entries)
+        while (
+            self._held_pages + needed_pages > self._budget_pages
+            and self._entries
+            and attempts > 0
+        ):
+            attempts -= 1
+            key = next(iter(self._entries))  # LRU victim
+            if not self._evict(key):
+                # Could not delete (live dependents survived drop_idle);
+                # rotate it to the back and try the next victim.
+                self._entries.move_to_end(key)
+                self.stats.eviction_failures += 1
+
+    def _evict(self, key: str) -> bool:
+        snapshot = self._entries[key]
+        # Destroy idle UCs deployed from this snapshot so only our own
+        # reference remains.
+        self._drop_idle(key)
+        if snapshot.refcount > 1:
+            return False  # a live invocation still depends on it
+        footprint = snapshot.footprint_pages
+        del self._entries[key]
+        snapshot.release()
+        snapshot.delete()
+        self._held_pages -= footprint
+        self.stats.evictions += 1
+        if self.evict_listener is not None:
+            self.evict_listener(key)
+        return True
+
+    def evict_key(self, key: str) -> bool:
+        """Explicitly evict one function's snapshot (if present)."""
+        if key not in self._entries:
+            return False
+        return self._evict(key)
+
+    def clear(self) -> None:
+        for key in list(self._entries):
+            self._evict(key)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.stats.hits + self.stats.misses
+        return self.stats.hits / total if total else 0.0

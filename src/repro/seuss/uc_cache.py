@@ -1,0 +1,114 @@
+"""The idle-UC cache and OOM reclaim daemon.
+
+After an invocation finishes, "its UC can either be destroyed or cached
+for future invocations of that function on a new set of arguments" (§4)
+— cached UCs serve the *hot* path.  Idle UCs are transient by design:
+"UCs for function invocations are transient and can always be killed by
+the system without impacting forward progress", so the OOM daemon
+reclaims them (oldest first, across all functions) whenever free memory
+drops below the configured threshold (§6 "Memory Management").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
+
+from repro.unikernel.context import UCState, UnikernelContext
+
+
+@dataclass
+class UCCacheStats:
+    cached: int = 0
+    hot_hits: int = 0
+    reclaimed: int = 0
+    dropped: int = 0
+
+
+class IdleUCCache:
+    """Idle unikernel contexts keyed by function, LRU across functions."""
+
+    def __init__(self, per_function_limit: int = 512) -> None:
+        self._per_function_limit = per_function_limit
+        # OrderedDict preserves global LRU order over function keys;
+        # each key holds a FIFO of idle UCs.
+        self._idle: "OrderedDict[str, Deque[UnikernelContext]]" = OrderedDict()
+        self._count = 0
+        self.stats = UCCacheStats()
+
+    def __len__(self) -> int:
+        return self._count
+
+    def function_count(self, key: str) -> int:
+        return len(self._idle.get(key, ()))
+
+    # -- hot-path operations -------------------------------------------------
+    def put(self, key: str, uc: UnikernelContext) -> bool:
+        """Cache a UC for hot reuse; returns False if over the limit."""
+        if uc.state is not UCState.IDLE:
+            raise ValueError(f"cannot cache UC in state {uc.state}")
+        bucket = self._idle.get(key)
+        if bucket is None:
+            bucket = deque()
+            self._idle[key] = bucket
+        if len(bucket) >= self._per_function_limit:
+            return False
+        bucket.append(uc)
+        self._idle.move_to_end(key)
+        self._count += 1
+        self.stats.cached += 1
+        return True
+
+    def pop(self, key: str) -> Optional[UnikernelContext]:
+        """Take an idle UC for ``key``, if any (the hot path)."""
+        bucket = self._idle.get(key)
+        if not bucket:
+            return None
+        uc = bucket.popleft()
+        self._count -= 1
+        if not bucket:
+            del self._idle[key]
+        else:
+            self._idle.move_to_end(key)
+        self.stats.hot_hits += 1
+        return uc
+
+    # -- reclamation -----------------------------------------------------
+    def reclaim_pages(self, pages_needed: int) -> int:
+        """OOM-daemon hook: destroy idle UCs until enough pages free.
+
+        Reclaims least-recently-used functions first.  Returns pages
+        actually freed.
+        """
+        freed = 0
+        while freed < pages_needed and self._idle:
+            key = next(iter(self._idle))  # least recently used function
+            bucket = self._idle[key]
+            uc = bucket.popleft()
+            self._count -= 1
+            if not bucket:
+                del self._idle[key]
+            freed += uc.destroy()
+            self.stats.reclaimed += 1
+        return freed
+
+    def drop_function(self, key: str) -> int:
+        """Destroy every idle UC of one function (pre-eviction hook)."""
+        bucket = self._idle.pop(key, None)
+        if not bucket:
+            return 0
+        dropped = 0
+        for uc in bucket:
+            uc.destroy()
+            dropped += 1
+        self._count -= dropped
+        self.stats.dropped += dropped
+        return dropped
+
+    def clear(self) -> int:
+        """Destroy all idle UCs; returns how many were destroyed."""
+        total = 0
+        for key in list(self._idle):
+            total += self.drop_function(key)
+        return total

@@ -1,0 +1,37 @@
+"""Discrete-event simulation engine.
+
+This package is the substrate that stands in for the paper's physical
+testbed: an explicit simulated clock, cooperative processes (Python
+generators), and synchronization primitives (resources, stores,
+conditions).  The engine is deliberately simpy-like so that component
+models read like straight-line descriptions of the real system's
+behaviour.
+
+Simulated time is measured in **milliseconds** throughout the project,
+matching the units the paper reports.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.sync import Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,415 @@
+"""Core event loop: environment, events, timeouts, and processes.
+
+The engine executes a classic discrete-event loop: events are scheduled
+at absolute simulated times, popped in time order, and their callbacks
+run with the clock set to the event's time.  Processes are Python
+generators that ``yield`` events to wait on them; a process is itself an
+event that triggers when its generator returns.
+
+The design mirrors simpy's public surface (``Environment.process``,
+``timeout``, ``run(until=...)``, ``AnyOf``/``AllOf``, ``Interrupt``) so
+that the component models in the rest of the package read naturally, but
+the implementation here is self-contained and dependency-free.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+#: Event priorities: interrupts must preempt normal callbacks scheduled
+#: for the same instant, so they are queued with ``URGENT`` priority.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the engine (e.g. running an empty queue)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries the interrupter's reason (any object).
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+# Event lifecycle states.
+PENDING = "pending"
+TRIGGERED = "triggered"
+PROCESSED = "processed"
+
+
+class Event:
+    """A condition that may occur at some point in simulated time.
+
+    An event starts *pending*.  It becomes *triggered* when given a value
+    (:meth:`succeed`) or an exception (:meth:`fail`) and scheduled, and
+    *processed* once its callbacks have run.  Processes wait on events by
+    yielding them.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state: str = PENDING
+        #: Set when a failure was delivered to at least one waiter (or
+        #: explicitly defused); prevents "unhandled failure" noise.
+        self._defused = False
+
+    # -- introspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._state != PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ---------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Any process waiting on the event will have the exception raised
+        at its ``yield``.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def _mark_processed(self) -> None:
+        self._state = PROCESSED
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} at {id(self):#x} state={self._state}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` milliseconds in the future."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self.callbacks.append(process._resume)
+        env._schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running generator; also an event that triggers on its return.
+
+    The generator yields :class:`Event` objects to wait on them.  When a
+    yielded event triggers, the generator is resumed with the event's
+    value (or the event's exception is thrown into it).  The value of
+    the generator's ``return`` statement becomes the process's value.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._state == PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process as soon as possible."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._generator.gi_running:
+            raise SimulationError("a process cannot interrupt itself")
+        interruption = Event(self.env)
+        interruption._ok = False
+        interruption._value = Interrupt(cause)
+        interruption._defused = True
+        interruption.callbacks.append(self._resume)
+        self.env._schedule(interruption, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        # If we were interrupted while waiting, detach from the old target
+        # so its eventual trigger does not resume us twice.
+        if self._target is not None and self._target is not event:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+        self.env._active_process = self
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._state = TRIGGERED
+            self._ok = True
+            self._value = getattr(stop, "value", None)
+            self.env._schedule(self)
+            return
+        except BaseException as exc:
+            self._state = TRIGGERED
+            self._ok = False
+            self._value = exc
+            self.env._schedule(self)
+            return
+        finally:
+            self.env._active_process = None
+
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process yielded non-event {next_event!r}; yield Event objects"
+            )
+        if next_event.processed:
+            # Already over: resume immediately (next loop iteration).
+            immediate = Event(self.env)
+            immediate._ok = next_event._ok
+            immediate._value = next_event._value
+            if not next_event._ok:
+                immediate._defused = True
+                next_event._defused = True
+            immediate.callbacks.append(self._resume)
+            self.env._schedule(immediate, priority=URGENT)
+        else:
+            self._target = next_event
+            next_event.callbacks.append(self._resume)
+
+
+class Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf` composite events.
+
+    A component event counts once it is *processed* (its callbacks have
+    run), not merely scheduled — a freshly created Timeout is scheduled
+    immediately but must not satisfy a condition until it fires.
+    """
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._outstanding = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events belong to different environments")
+        already_done = []
+        for event in self._events:
+            if event.processed:
+                already_done.append(event)
+            else:
+                self._outstanding += 1
+                event.callbacks.append(self._check)
+        for event in already_done:
+            self._check(event)
+        if not self._events and not self.triggered:
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        return {
+            event: event._value for event in self._events if event.processed
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Triggers once every component event has been processed OK.
+
+    Fails as soon as any component fails.
+    """
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._outstanding -= 1
+        if self._outstanding <= 0 and all(e.processed for e in self._events):
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Triggers as soon as any component event is processed."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List = []
+        self._eid = itertools.count()
+        self._active_process: Optional[Process] = None
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events processed since construction (a cost measure)."""
+        return self._events_processed
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories ----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------
+    def _schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        if event._state == PENDING:
+            event._state = TRIGGERED
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("event queue is empty")
+        when, _priority, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        self._events_processed += 1
+        callbacks, event.callbacks = event.callbacks, []
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Any = None, limit: Optional[int] = None) -> Any:
+        """Run until ``until`` (a time, an event, or queue exhaustion).
+
+        * ``until`` is ``None``: run until no events remain.
+        * ``until`` is a number: run until the clock reaches it.
+        * ``until`` is an :class:`Event`: run until it is processed and
+          return its value (raising its exception if it failed).
+
+        ``limit`` bounds the number of events processed by this call —
+        a guard against accidentally unbounded simulations (e.g. a
+        monitor process that never stops).
+        """
+        budget = limit if limit is not None else -1
+
+        def spend() -> None:
+            nonlocal budget
+            if budget == 0:
+                raise SimulationError(
+                    f"event limit of {limit} reached at t={self._now}"
+                )
+            budget -= 1
+
+        if until is None:
+            while self._queue:
+                spend()
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            while not until.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue empty before target event triggered"
+                    )
+                spend()
+                self.step()
+            if not until._ok:
+                until._defused = True
+                raise until._value
+            return until._value
+
+        deadline = float(until)
+        if deadline < self._now:
+            raise ValueError(f"until={deadline} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            spend()
+            self.step()
+        self._now = deadline
+        return None

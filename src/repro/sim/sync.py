@@ -1,0 +1,122 @@
+"""Synchronization primitives built on the event loop.
+
+:class:`Resource` models a pool of identical slots (CPU cores, the shim's
+single TCP connection, Docker-daemon worker threads).  :class:`Store`
+models a FIFO hand-off queue (the platform work queue, message-bus
+topics).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.sim.core import Environment, Event, SimulationError
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Triggers when the slot is granted.  Must be paired with
+    :meth:`Resource.release`, or used via the ``with``-like pattern in
+    process code::
+
+        req = resource.request()
+        yield req
+        try:
+            ...  # hold the slot
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with FIFO granting."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        request = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+        return request
+
+    def release(self, request: Request) -> None:
+        """Return a held (or no-longer-wanted) slot."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # The request never got a slot (e.g. its process was
+            # interrupted while queued); drop it from the wait queue.
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                raise SimulationError("releasing a request that is not held")
+            return
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class Store:
+    """An unbounded (or bounded) FIFO queue of items.
+
+    ``put`` returns an event that triggers when the item is accepted;
+    ``get`` returns an event that triggers with the next item.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.env)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed()
+        elif len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.popleft())
+            while self._putters and len(self.items) < self.capacity:
+                putter, item = self._putters.popleft()
+                self.items.append(item)
+                putter.succeed()
+        else:
+            self._getters.append(event)
+        return event

@@ -1,0 +1,236 @@
+"""Unikernel contexts: the unit of deployment.
+
+A :class:`UnikernelContext` (UC) bundles an address space, a driver, and
+a hypercall boundary.  Its lifecycle follows Figure 2: boot (only ever
+done once per runtime, to build the base snapshot), deploy from a
+snapshot, listen, connect, import code, capture a function snapshot,
+execute, and either sit idle for hot reuse or be destroyed.
+
+All methods here perform the *memory mechanics* (page writes, COW
+faults, snapshot capture).  Time is charged by the layer that owns the
+clock (:mod:`repro.seuss.invoker`), keeping mechanism and cost model
+separate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum
+from typing import Dict, Optional
+
+from repro.errors import ReproError, SnapshotError
+from repro.mem.address_space import AddressSpace, WriteResult
+from repro.mem.frames import FrameAllocator
+from repro.mem.snapshot import CpuState, Snapshot
+from repro.unikernel import interpreters as regions
+from repro.unikernel.driver import DriverState, InvocationDriver
+from repro.unikernel.interpreters import RuntimeSpec
+from repro.unikernel.layout import MemoryLayout
+from repro.unikernel.solo5 import HypercallInterface
+
+_uc_ids = itertools.count(1)
+
+#: Layouts are immutable once built; share one per runtime.
+_LAYOUT_CACHE: Dict[str, MemoryLayout] = {}
+
+
+def layout_for(runtime: RuntimeSpec) -> MemoryLayout:
+    layout = _LAYOUT_CACHE.get(runtime.name)
+    if layout is None:
+        layout = runtime.build_layout()
+        _LAYOUT_CACHE[runtime.name] = layout
+    return layout
+
+
+class UCState(Enum):
+    CREATED = "created"
+    BOOTED = "booted"
+    LISTENING = "listening"
+    CONNECTED = "connected"
+    IDLE = "idle"  # invocation finished; cached for hot reuse
+    RUNNING = "running"
+    DESTROYED = "destroyed"
+
+
+class UCLifecycleError(ReproError):
+    """A UC operation was attempted in the wrong state."""
+
+
+class UnikernelContext:
+    """One isolated function-execution environment."""
+
+    def __init__(
+        self,
+        allocator: FrameAllocator,
+        runtime: RuntimeSpec,
+        base: Optional[Snapshot] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.uc_id = next(_uc_ids)
+        self.name = name or f"uc-{self.uc_id}"
+        self.runtime = runtime
+        self.layout = layout_for(runtime)
+        self.space = AddressSpace(allocator, base=base, name=self.name)
+        self.hypercalls = HypercallInterface()
+        self.driver = InvocationDriver(self.space, self.layout, self.hypercalls)
+        self.state = UCState.CREATED
+        #: Name of the function whose code is resident (None until a
+        #: function is imported or inherited through a fn snapshot).
+        self.bound_function: Optional[str] = None
+        self.completed_invocations = 0
+        # Every UC of a runtime is configured with an identical IP/MAC
+        # so snapshots deploy anywhere (§6 "Networking").
+        self.guest_ip = "10.0.0.2"
+        self.guest_mac = "02:00:00:00:00:01"
+        self._destroy_hooks: list = []
+
+    def add_destroy_hook(self, hook) -> None:
+        """Register a callback run when the UC is torn down.
+
+        The node's network layer uses this to unmap the UC's proxy
+        channel when the UC goes away.
+        """
+        self._destroy_hooks.append(hook)
+
+    # -- state helpers --------------------------------------------------
+    def _require(self, *allowed: UCState) -> None:
+        if self.state not in allowed:
+            raise UCLifecycleError(
+                f"{self.name}: operation requires state in "
+                f"{[s.value for s in allowed]}, currently {self.state.value}"
+            )
+
+    @property
+    def destroyed(self) -> bool:
+        return self.state is UCState.DESTROYED
+
+    @property
+    def resident_mb(self) -> float:
+        return self.space.resident_mb
+
+    # -- from-scratch boot (base-snapshot construction only) ----------------
+    def boot(self) -> WriteResult:
+        """Boot the unikernel + interpreter + driver from nothing.
+
+        Only legal for a UC with no base snapshot; deployed UCs resume
+        inside an already-booted image.
+        """
+        self._require(UCState.CREATED)
+        if self.space.base is not None:
+            raise UCLifecycleError(
+                f"{self.name}: booted UCs must not have a base snapshot"
+            )
+        self.hypercalls.invoke("mem_info")
+        self.hypercalls.invoke("blkread")  # load the ramdisk image
+        total = WriteResult(0, 0, 0)
+        for region_name in (regions.KERNEL, regions.INTERPRETER, regions.DRIVER):
+            region = self.layout.region(region_name)
+            result = self.space.write(region.start, region.npages)
+            total = _merge(total, result)
+        self.state = UCState.BOOTED
+        return total
+
+    # -- deployment path (Figure 2) ------------------------------------------
+    def start_listening(self) -> WriteResult:
+        """Restart the driver into its listening state (every deploy)."""
+        self._require(UCState.CREATED, UCState.BOOTED)
+        result = self.driver.start_listening()
+        self.state = UCState.LISTENING
+        return result
+
+    def accept_connection(self) -> WriteResult:
+        """Accept the control connection from SEUSS OS."""
+        self._require(UCState.LISTENING)
+        result = self.driver.accept_connection()
+        self.state = UCState.CONNECTED
+        return result
+
+    def import_function(self, function_name: str, code_kb: float) -> WriteResult:
+        """Import + compile function source (cold path only)."""
+        self._require(UCState.CONNECTED)
+        if self.bound_function is not None:
+            raise UCLifecycleError(
+                f"{self.name}: already bound to {self.bound_function!r}"
+            )
+        pages = self.runtime.import_pages_for(code_kb)
+        result = self.driver.import_code(code_kb, pages)
+        self.bound_function = function_name
+        self.state = UCState.IDLE
+        return result
+
+    def restore_function(self, function_name: str, code_kb: float) -> None:
+        """Resume with code inherited from a function snapshot (warm path)."""
+        self._require(UCState.CONNECTED)
+        self.driver.restore_ready(code_kb)
+        self.bound_function = function_name
+        self.state = UCState.IDLE
+
+    def import_args(self) -> WriteResult:
+        self._require(UCState.IDLE)
+        return self.driver.import_args()
+
+    def execute(self, exec_write_pages: int) -> WriteResult:
+        """Run the bound function once."""
+        self._require(UCState.IDLE)
+        if self.bound_function is None:
+            raise UCLifecycleError(f"{self.name}: no function bound")
+        self.state = UCState.RUNNING
+        result = self.driver.execute(exec_write_pages)
+        self.state = UCState.IDLE
+        self.completed_invocations += 1
+        return result
+
+    # -- anticipatory optimization hooks -----------------------------------
+    def warm_network(self) -> WriteResult:
+        """Network AO pass: exercise the stack before snapshotting."""
+        self._require(UCState.BOOTED, UCState.LISTENING)
+        return self.driver.warm_network_path()
+
+    def warm_interpreter(self) -> WriteResult:
+        """Interpreter AO pass: run a dummy script before snapshotting."""
+        self._require(UCState.BOOTED, UCState.LISTENING)
+        return self.driver.run_dummy_script()
+
+    # -- snapshotting -------------------------------------------------------
+    def capture_snapshot(
+        self, name: str, trigger_label: str = "", flatten: bool = False
+    ) -> Snapshot:
+        """Capture the dirty pages; execution continues transparently.
+
+        ``flatten=True`` produces a self-contained snapshot (no parent
+        lineage) — the snapshot-stack ablation and the wire format for
+        cross-node snapshot migration.
+        """
+        if self.destroyed:
+            raise SnapshotError(f"{self.name}: destroyed")
+        cpu = CpuState(
+            instruction_pointer=hash((name, trigger_label)) & 0xFFFF_FFFF,
+            trigger_label=trigger_label or name,
+        )
+        return self.space.capture_snapshot(name, cpu, flatten=flatten)
+
+    # -- teardown -----------------------------------------------------------
+    def destroy(self) -> int:
+        """Tear down the UC; returns pages reclaimed."""
+        if self.destroyed:
+            return 0
+        freed = self.space.destroy()
+        self.state = UCState.DESTROYED
+        for hook in self._destroy_hooks:
+            hook()
+        self._destroy_hooks.clear()
+        return freed
+
+    def __repr__(self) -> str:
+        return (
+            f"UnikernelContext({self.name!r}, {self.runtime.name}, "
+            f"state={self.state.value}, fn={self.bound_function!r})"
+        )
+
+
+def _merge(a: WriteResult, b: WriteResult) -> WriteResult:
+    return WriteResult(
+        pages_written=a.pages_written + b.pages_written,
+        pages_copied=a.pages_copied + b.pages_copied,
+        extents_copied=a.extents_copied + b.extents_copied,
+    )

@@ -1,0 +1,184 @@
+"""Language-runtime models.
+
+A :class:`RuntimeSpec` describes how one interpreter (Node.js, Python)
+uses memory and time across the UC lifecycle: how many pages each stage
+writes and how long first-time initialization takes.  Region sizes are
+calibrated so the memory substrate *measures* the paper's Table 1
+snapshot sizes (109.6 MB Node.js base, +4.9 MB after AO, 2.0 MB NOP
+function snapshot) rather than hard-coding them.
+
+SEUSS supports "a diverse set of language runtimes" because snapshots
+are black-box; adding a runtime here is one dataclass instance.  The
+``supports_fork`` flag records the contrast the paper draws with
+fork-based systems (Node.js does not support POSIX fork).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigError
+from repro.unikernel.layout import MemoryLayout
+
+#: Region names in the canonical UC layout.
+KERNEL = "kernel"
+INTERPRETER = "interpreter"
+DRIVER = "driver"
+AO_NETWORK = "ao_network"
+AO_INTERPRETER = "ao_interpreter"
+AO_DUMMY = "ao_dummy"
+LISTEN = "listen_scratch"
+CONN = "conn_scratch"
+ARGS = "args"
+IMPORT = "import"
+EXEC = "exec_scratch"
+
+
+@dataclass(frozen=True)
+class RuntimeSpec:
+    """Memory/time behaviour of one language runtime inside a UC."""
+
+    name: str
+    language: str
+    #: Whether the interpreter natively supports POSIX fork() — the
+    #: limitation of fork-based computational caching (§8).
+    supports_fork: bool
+    #: Interpreter start-up time when booted from scratch (skipped by
+    #: deploying from the runtime snapshot).
+    interpreter_init_ms: float
+
+    # Pages written by each lifecycle stage.
+    kernel_pages: int
+    interpreter_pages: int
+    driver_pages: int
+    ao_network_pages: int
+    ao_interpreter_pages: int
+    ao_dummy_pages: int
+    listen_pages: int
+    conn_pages: int
+    args_pages: int
+    import_base_pages: int
+    import_pages_per_kb: int
+
+    #: Maximum extents reserved in the layout for code and run state.
+    import_region_pages: int = 16_384  # 64 MB of code + compile artifacts
+    exec_region_pages: int = 65_536  # 256 MB of run-time heap
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "kernel_pages",
+            "interpreter_pages",
+            "driver_pages",
+            "listen_pages",
+            "conn_pages",
+            "args_pages",
+            "import_base_pages",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ConfigError(f"{self.name}: {field_name} must be positive")
+
+    # -- derived quantities -------------------------------------------------
+    @property
+    def base_image_pages(self) -> int:
+        """Pages dirtied by boot + interpreter init + driver start.
+
+        This is the runtime snapshot size *before* anticipatory
+        optimization (Node.js: 109.6 MB)."""
+        return self.kernel_pages + self.interpreter_pages + self.driver_pages
+
+    @property
+    def ao_pages(self) -> int:
+        """Pages anticipatory optimization adds to the base snapshot."""
+        return self.ao_network_pages + self.ao_interpreter_pages + self.ao_dummy_pages
+
+    def import_pages_for(self, code_kb: float) -> int:
+        """Pages written importing + compiling ``code_kb`` of source.
+
+        A NOP function still touches ``import_base_pages`` ("even for a
+        NOP function, hundreds of pages are touched while importing and
+        compiling the code").
+        """
+        if code_kb < 0:
+            raise ConfigError(f"negative code size {code_kb}")
+        extra = int(math.ceil(self.import_pages_per_kb * max(0.0, code_kb - 0.1)))
+        return min(self.import_base_pages + extra, self.import_region_pages)
+
+    def build_layout(self) -> MemoryLayout:
+        """The canonical virtual layout shared by every UC of this runtime."""
+        layout = MemoryLayout()
+        layout.add(KERNEL, self.kernel_pages)
+        layout.add(INTERPRETER, self.interpreter_pages)
+        layout.add(DRIVER, self.driver_pages)
+        layout.add(AO_NETWORK, self.ao_network_pages)
+        layout.add(AO_INTERPRETER, self.ao_interpreter_pages)
+        layout.add(AO_DUMMY, self.ao_dummy_pages)
+        layout.add(LISTEN, self.listen_pages)
+        layout.add(CONN, self.conn_pages)
+        layout.add(ARGS, self.args_pages)
+        layout.add(IMPORT, self.import_region_pages)
+        layout.add(EXEC, self.exec_region_pages)
+        return layout
+
+
+#: Node.js on Rumprun — the runtime every paper experiment uses.
+NODEJS = RuntimeSpec(
+    name="nodejs",
+    language="javascript",
+    supports_fork=False,
+    interpreter_init_ms=650.0,
+    kernel_pages=7_680,  # 30.0 MB rumprun/NetBSD boot writes
+    interpreter_pages=19_738,  # 77.1 MB V8 + Node.js init
+    driver_pages=640,  # 2.5 MB OpenWhisk invocation driver
+    ao_network_pages=486,  # 1.9 MB first-use network-stack state
+    ao_interpreter_pages=230,  # 0.9 MB first-run JIT/IC state
+    ao_dummy_pages=538,  # 2.1 MB dummy-script-specific state
+    listen_pages=360,  # 1.4 MB driver restart-into-listen writes
+    conn_pages=51,  # 0.2 MB per-connection scratch
+    args_pages=8,
+    import_base_pages=97,  # 0.38 MB compiling even a NOP
+    import_pages_per_kb=16,
+)
+
+#: CPython on Rumprun — the second interpreter the prototype ports.
+PYTHON = RuntimeSpec(
+    name="python",
+    language="python",
+    supports_fork=True,
+    interpreter_init_ms=250.0,
+    kernel_pages=7_680,
+    interpreter_pages=4_608,  # 18 MB CPython init
+    driver_pages=384,  # 1.5 MB driver
+    ao_network_pages=486,
+    ao_interpreter_pages=115,
+    ao_dummy_pages=205,
+    listen_pages=256,
+    conn_pages=51,
+    args_pages=8,
+    import_base_pages=64,
+    import_pages_per_kb=12,
+)
+
+_REGISTRY: Dict[str, RuntimeSpec] = {NODEJS.name: NODEJS, PYTHON.name: PYTHON}
+
+
+def get_runtime(name: str) -> RuntimeSpec:
+    """Look up a registered runtime by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown runtime {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def register_runtime(spec: RuntimeSpec) -> None:
+    """Register a custom runtime (see ``examples/custom_runtime.py``)."""
+    if spec.name in _REGISTRY:
+        raise ConfigError(f"runtime {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+
+
+def registered_runtimes() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,74 @@
+"""The Solo5 hypercall surface.
+
+SEUSS narrows the domain interface between the untrusted unikernel and
+the trusted kernel to the twelve hypercalls of the Solo5/ukvm middleware
+(§5): "the hypercall interface used in our prototype, ukvm, exposes only
+12 system calls while the standard security of a Docker container gives
+access to over 300 Linux syscalls."
+
+:class:`HypercallInterface` enforces that narrowing: guests may only
+invoke names in the allow-list, and every crossing is counted so tests
+and the security example can audit the domain traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.errors import IsolationError
+
+#: The ukvm/Solo5 hypercall set (12 calls).
+SOLO5_HYPERCALLS: FrozenSet[str] = frozenset(
+    {
+        "walltime",
+        "puts",
+        "poll",
+        "blkinfo",
+        "blkwrite",
+        "blkread",
+        "netinfo",
+        "netwrite",
+        "netread",
+        "halt",
+        "mem_info",
+        "cpu_info",
+    }
+)
+
+#: Size of the default Docker seccomp allow-list, for the comparison the
+#: paper draws in §5 (over 300 Linux syscalls).
+DOCKER_SECCOMP_SYSCALL_COUNT = 313
+
+
+class HypercallInterface:
+    """The narrow, auditable boundary between a UC and the host kernel."""
+
+    def __init__(self, allowed: FrozenSet[str] = SOLO5_HYPERCALLS) -> None:
+        self._allowed = allowed
+        self._counts: Dict[str, int] = {}
+
+    @property
+    def surface_size(self) -> int:
+        """Number of distinct domain crossings a guest may use."""
+        return len(self._allowed)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Per-hypercall invocation counts (a copy)."""
+        return dict(self._counts)
+
+    @property
+    def total_crossings(self) -> int:
+        return sum(self._counts.values())
+
+    def allows(self, name: str) -> bool:
+        return name in self._allowed
+
+    def invoke(self, name: str) -> None:
+        """Record a hypercall; unknown names breach the domain boundary."""
+        if name not in self._allowed:
+            raise IsolationError(
+                f"hypercall {name!r} is outside the {self.surface_size}-call "
+                "domain interface"
+            )
+        self._counts[name] = self._counts.get(name, 0) + 1

@@ -1,0 +1,62 @@
+"""Units and conversions used throughout the reproduction.
+
+* Simulated time is in **milliseconds** (the unit the paper reports).
+* Memory is accounted in 4 KiB **pages** (the x86 granularity SEUSS OS
+  tracks with dirty bits); helpers convert to/from MB and GB, where
+  the paper's "MB" means MiB.
+"""
+
+from __future__ import annotations
+
+#: x86 small-page size in bytes.
+PAGE_SIZE = 4096
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Pages per MiB (= 256).
+PAGES_PER_MB = MIB // PAGE_SIZE
+
+# -- time helpers (everything is stored in ms) -------------------------
+
+
+def seconds(value: float) -> float:
+    """Convert seconds to simulation time (ms)."""
+    return value * 1000.0
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to simulation time (ms)."""
+    return value * 60_000.0
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds to simulation time (ms)."""
+    return value / 1000.0
+
+
+def ms_to_seconds(value: float) -> float:
+    return value / 1000.0
+
+
+# -- memory helpers -----------------------------------------------------
+
+
+def mb_to_pages(mb: float) -> int:
+    """Convert MiB to a whole number of 4 KiB pages (rounded)."""
+    return int(round(mb * PAGES_PER_MB))
+
+
+def gb_to_pages(gb: float) -> int:
+    """Convert GiB to a whole number of 4 KiB pages (rounded)."""
+    return int(round(gb * GIB / PAGE_SIZE))
+
+
+def pages_to_mb(pages: int) -> float:
+    """Convert a page count to MiB."""
+    return pages / PAGES_PER_MB
+
+
+def pages_to_bytes(pages: int) -> int:
+    return pages * PAGE_SIZE

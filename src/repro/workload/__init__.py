@@ -1,0 +1,23 @@
+"""Workload generation: the paper's benchmark tool and its workloads."""
+
+from repro.workload.burst import BurstConfig, BurstResult, BurstWorkload
+from repro.workload.functions import (
+    cpu_bound_function,
+    io_bound_function,
+    nop_function,
+    unique_nop_set,
+)
+from repro.workload.generator import LoadGenerator, TrialConfig, TrialResult
+
+__all__ = [
+    "BurstConfig",
+    "BurstResult",
+    "BurstWorkload",
+    "LoadGenerator",
+    "TrialConfig",
+    "TrialResult",
+    "cpu_bound_function",
+    "io_bound_function",
+    "nop_function",
+    "unique_nop_set",
+]

@@ -1,0 +1,84 @@
+"""The paper's three function archetypes.
+
+* **NOP** — a single-line JavaScript function that returns immediately
+  (~0.5 ms in the UC); used by every micro benchmark and the throughput
+  trials "to stress the system-induced overheads by minimizing the time
+  spent on the client" (§7).
+* **CPU-bound** — "a computation that takes around 150 ms"; the burst
+  functions.
+* **IO-bound** — "makes an external network call to a remote HTTP
+  server, which blocks for 250 ms"; the background-stream functions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.faas.records import FunctionSpec
+
+#: Execution time of the NOP body ("the function ran for roughly
+#: 0.5 ms", §7).
+NOP_EXEC_MS = 0.5
+#: Pages the NOP invocation writes at run time (args + result heap).
+NOP_EXEC_PAGES = 38
+#: CPU-bound burst function body duration.
+CPU_BOUND_EXEC_MS = 150.0
+#: External-server blocking time for IO-bound functions.
+IO_BLOCK_MS = 250.0
+
+
+def nop_function(
+    name: str = "nop", owner: str = "default", runtime: str = "nodejs"
+) -> FunctionSpec:
+    """The single-line NOP JavaScript function."""
+    return FunctionSpec(
+        name=name,
+        owner=owner,
+        runtime=runtime,
+        code_kb=0.1,
+        exec_ms=NOP_EXEC_MS,
+        exec_write_pages=NOP_EXEC_PAGES,
+    )
+
+
+def cpu_bound_function(
+    name: str, owner: str = "burst", exec_ms: float = CPU_BOUND_EXEC_MS
+) -> FunctionSpec:
+    """A compute-heavy function (holds a core for ``exec_ms``)."""
+    return FunctionSpec(
+        name=name,
+        owner=owner,
+        code_kb=2.0,
+        exec_ms=exec_ms,
+        exec_write_pages=256,
+    )
+
+
+def io_bound_function(
+    name: str, owner: str = "background", block_ms: float = IO_BLOCK_MS
+) -> FunctionSpec:
+    """A function that blocks on an external HTTP call."""
+    return FunctionSpec(
+        name=name,
+        owner=owner,
+        code_kb=1.0,
+        exec_ms=2.0,
+        exec_write_pages=64,
+        io_wait_ms=block_ms,
+    )
+
+
+def unique_nop_set(count: int, owner_prefix: str = "client") -> List[FunctionSpec]:
+    """``count`` logically-unique NOP functions.
+
+    "While each function is logically unique, the actual code being run
+    is the same JavaScript NOP" — uniqueness is per-client isolation
+    (distinct owners), exactly how the throughput trials stress the
+    caches (§7).
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return [
+        nop_function(name="nop", owner=f"{owner_prefix}-{index}")
+        for index in range(count)
+    ]

@@ -1,0 +1,179 @@
+"""Synthetic arrival and popularity models.
+
+The paper's benchmark sends uniformly random invocations from a closed
+set of workers; production FaaS traffic is neither uniform nor closed.
+This module provides the standard synthetic substitutes — Poisson and
+burst-modulated arrival processes, and Zipf-skewed function popularity
+(the shape reported for the Azure Functions traces) — so the two
+backends can also be compared under realistic skew
+(``examples/zipf_workload.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+from repro.errors import ConfigError
+from repro.faas.records import FunctionSpec
+
+
+class ArrivalProcess:
+    """Base: an infinite stream of inter-arrival gaps (ms)."""
+
+    def gaps(self) -> Iterator[float]:
+        raise NotImplementedError
+
+    def arrival_times(self, count: int, start_ms: float = 0.0) -> List[float]:
+        """The first ``count`` absolute arrival times."""
+        if count < 0:
+            raise ConfigError(f"negative count {count}")
+        times: List[float] = []
+        now = start_ms
+        gaps = self.gaps()
+        for _ in range(count):
+            now += next(gaps)
+            times.append(now)
+        return times
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at ``rate_per_s``."""
+
+    def __init__(self, rate_per_s: float, seed: int = 0) -> None:
+        if rate_per_s <= 0:
+            raise ConfigError(f"rate must be positive, got {rate_per_s}")
+        self.rate_per_s = rate_per_s
+        self._rng = random.Random(seed)
+
+    def gaps(self) -> Iterator[float]:
+        mean_gap_ms = 1000.0 / self.rate_per_s
+        while True:
+            yield self._rng.expovariate(1.0 / mean_gap_ms)
+
+
+class ModulatedArrivals(ArrivalProcess):
+    """Poisson arrivals whose rate alternates base/peak.
+
+    A simple on-off burst model: ``peak_fraction`` of each period runs
+    at ``peak_rate_per_s``, the remainder at ``base_rate_per_s``.
+    """
+
+    def __init__(
+        self,
+        base_rate_per_s: float,
+        peak_rate_per_s: float,
+        period_ms: float,
+        peak_fraction: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if base_rate_per_s <= 0 or peak_rate_per_s <= 0 or period_ms <= 0:
+            raise ConfigError("rates and period must be positive")
+        if not 0.0 < peak_fraction < 1.0:
+            raise ConfigError(f"peak_fraction {peak_fraction} not in (0,1)")
+        self.base_rate_per_s = base_rate_per_s
+        self.peak_rate_per_s = peak_rate_per_s
+        self.period_ms = period_ms
+        self.peak_fraction = peak_fraction
+        self._rng = random.Random(seed)
+
+    def _rate_at(self, now_ms: float) -> float:
+        phase = (now_ms % self.period_ms) / self.period_ms
+        return (
+            self.peak_rate_per_s
+            if phase < self.peak_fraction
+            else self.base_rate_per_s
+        )
+
+    def gaps(self) -> Iterator[float]:
+        now = 0.0
+        while True:
+            rate = self._rate_at(now)
+            gap = self._rng.expovariate(rate / 1000.0)
+            now += gap
+            yield gap
+
+
+@dataclass(frozen=True)
+class ZipfPopularity:
+    """Zipf-distributed function popularity: rank-``k`` weight k^-s."""
+
+    function_count: int
+    exponent: float = 1.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.function_count < 1:
+            raise ConfigError("function_count must be >= 1")
+        if self.exponent <= 0:
+            raise ConfigError("exponent must be positive")
+
+    def weights(self) -> List[float]:
+        return [
+            1.0 / math.pow(rank, self.exponent)
+            for rank in range(1, self.function_count + 1)
+        ]
+
+    def sample_indices(self, count: int) -> List[int]:
+        """``count`` function indices, most popular = index 0."""
+        rng = random.Random(self.seed)
+        population = range(self.function_count)
+        return rng.choices(population, weights=self.weights(), k=count)
+
+    def head_share(self, head: int) -> float:
+        """Fraction of traffic hitting the ``head`` most popular fns."""
+        weights = self.weights()
+        return sum(weights[:head]) / sum(weights)
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One invocation of a synthetic trace."""
+
+    at_ms: float
+    function: FunctionSpec
+
+
+def synthesize_trace(
+    functions: Sequence[FunctionSpec],
+    arrivals: ArrivalProcess,
+    popularity: ZipfPopularity,
+    count: int,
+) -> List[TraceEntry]:
+    """Zip arrivals and popularity into a replayable trace."""
+    if popularity.function_count != len(functions):
+        raise ConfigError(
+            f"popularity over {popularity.function_count} functions, "
+            f"got {len(functions)}"
+        )
+    times = arrivals.arrival_times(count)
+    indices = popularity.sample_indices(count)
+    return [
+        TraceEntry(at_ms=at, function=functions[idx])
+        for at, idx in zip(times, indices)
+    ]
+
+
+def replay_trace(cluster, trace: Sequence[TraceEntry]):
+    """Replay a trace open-loop against a cluster; returns results.
+
+    Unlike the closed-loop :class:`~repro.workload.generator.LoadGenerator`
+    (C workers, at most C in flight), a trace replay launches each
+    request at its timestamp regardless of completions — the open-loop
+    behaviour of real external clients.
+    """
+    env = cluster.env
+    results = []
+
+    def fire(entry: TraceEntry):
+        delay = max(0.0, entry.at_ms - env.now)
+        if delay:
+            yield env.timeout(delay)
+        outcome = yield cluster.invoke(entry.function)
+        results.append(outcome)
+
+    procs = [env.process(fire(entry)) for entry in trace]
+    env.run(until=env.all_of(procs))
+    return results

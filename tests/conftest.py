@@ -1,0 +1,48 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.frames import FrameAllocator, node_allocator
+from repro.seuss.config import AOLevel, SeussConfig
+from repro.seuss.node import SeussNode
+from repro.sim import Environment
+from repro.unikernel.interpreters import NODEJS
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def allocator() -> FrameAllocator:
+    """A node-sized allocator (88 GB, 512 MB reserved)."""
+    return node_allocator(88.0, 512.0)
+
+
+@pytest.fixture
+def small_allocator() -> FrameAllocator:
+    """A tiny allocator for OOM-path tests (4096 pages = 16 MB)."""
+    return FrameAllocator(4096)
+
+
+@pytest.fixture
+def nodejs():
+    return NODEJS
+
+
+@pytest.fixture
+def seuss_node(env) -> SeussNode:
+    """An initialized SEUSS node with full AO."""
+    node = SeussNode(env)
+    node.initialize_sync()
+    return node
+
+
+def make_seuss_node(ao_level: AOLevel = AOLevel.NETWORK_AND_INTERPRETER, **kwargs):
+    """Helper for tests needing custom node configs."""
+    node = SeussNode(Environment(), SeussConfig(ao_level=ao_level, **kwargs))
+    node.initialize_sync()
+    return node

@@ -1,0 +1,56 @@
+"""Automatic-AO-discovery tests (§9 future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.seuss.autoao import (
+    DiscoveryReport,
+    evaluate_proposals,
+    profile_first_use,
+)
+from repro.seuss.config import AOLevel
+
+
+class TestDiscovery:
+    def test_rediscovers_both_paper_passes(self):
+        report = profile_first_use(samples=6)
+        passes = {proposal.ao_pass for proposal in report.proposals}
+        assert passes == {"network", "interpreter"}
+        assert report.proposed_level() is AOLevel.NETWORK_AND_INTERPRETER
+
+    def test_every_sample_hits_the_shared_paths(self):
+        report = profile_first_use(samples=5)
+        for proposal in report.proposals:
+            assert proposal.observed_fraction == 1.0
+
+    def test_proposal_sizes_match_the_extents(self):
+        from repro.unikernel.interpreters import NODEJS
+
+        report = profile_first_use(samples=3)
+        by_pass = {p.ao_pass: p for p in report.proposals}
+        assert by_pass["network"].pages == NODEJS.ao_network_pages
+        assert by_pass["interpreter"].pages == NODEJS.ao_interpreter_pages
+
+    def test_applying_discovered_ao_recovers_table2(self):
+        report = profile_first_use(samples=3)
+        before_ms, after_ms = evaluate_proposals(report)
+        assert before_ms == pytest.approx(42.2, abs=0.5)
+        assert after_ms == pytest.approx(7.5, abs=0.2)
+        assert before_ms / after_ms > 5
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            profile_first_use(samples=0)
+        with pytest.raises(ConfigError):
+            profile_first_use(threshold=0.0)
+
+    def test_empty_report_proposes_nothing(self):
+        report = DiscoveryReport(samples=1)
+        assert report.proposed_level() is AOLevel.NONE
+
+    def test_python_runtime_also_profiled(self):
+        report = profile_first_use(runtime_name="python", samples=3)
+        passes = {proposal.ao_pass for proposal in report.proposals}
+        assert "network" in passes

@@ -1,0 +1,111 @@
+"""Config-validation and AO-module tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs import SeussCostModel
+from repro.errors import ConfigError
+from repro.linuxnode.config import LinuxNodeConfig
+from repro.mem.frames import FrameAllocator
+from repro.seuss.ao import AOReport, apply_anticipatory_optimizations
+from repro.seuss.config import AOLevel, SeussConfig
+from repro.unikernel.context import UnikernelContext
+from repro.unikernel.interpreters import NODEJS
+
+
+class TestSeussConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"memory_gb": 0},
+            {"memory_gb": -1},
+            {"cores": 0},
+            {"runtimes": ()},
+            {"snapshot_cache_budget_mb": -1},
+            {"oom_threshold_mb": -1},
+            {"idle_ucs_per_function": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            SeussConfig(**kwargs)
+
+    def test_defaults_match_the_paper_testbed(self):
+        config = SeussConfig()
+        assert config.memory_gb == 88.0
+        assert config.cores == 16
+        assert config.ao_level is AOLevel.NETWORK_AND_INTERPRETER
+        assert config.snapshot_stacks
+
+    def test_ao_level_flags(self):
+        assert not AOLevel.NONE.network and not AOLevel.NONE.interpreter
+        assert AOLevel.NETWORK.network and not AOLevel.NETWORK.interpreter
+        assert AOLevel.NETWORK_AND_INTERPRETER.network
+        assert AOLevel.NETWORK_AND_INTERPRETER.interpreter
+
+
+class TestLinuxConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"memory_gb": 0},
+            {"cores": 0},
+            {"container_cache_limit": 0},
+            {"stemcell_pool_size": -1},
+            {"stemcell_pool_size": 2000},  # exceeds the cache limit
+            {"stemcell_repopulate_concurrency": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            LinuxNodeConfig(**kwargs)
+
+    def test_defaults_match_the_paper_setup(self):
+        config = LinuxNodeConfig()
+        assert config.container_cache_limit == 1024
+        assert config.stemcell_pool_size == 0  # disabled for throughput
+        assert not config.pause_containers  # disabled by the paper
+
+
+class TestAOModule:
+    @pytest.fixture
+    def booted_uc(self):
+        uc = UnikernelContext(FrameAllocator(10_000_000), NODEJS)
+        uc.boot()
+        return uc
+
+    def test_none_level_is_a_noop(self, booted_uc):
+        report = apply_anticipatory_optimizations(
+            booted_uc, AOLevel.NONE, SeussCostModel()
+        )
+        assert report.pages_added == 0
+        assert report.time_spent_ms == 0.0
+        assert report.passes == {}
+
+    def test_network_only(self, booted_uc):
+        report = apply_anticipatory_optimizations(
+            booted_uc, AOLevel.NETWORK, SeussCostModel()
+        )
+        assert report.passes == {"network": NODEJS.ao_network_pages}
+        assert report.mb_added == pytest.approx(1.9, abs=0.01)
+
+    def test_full_level_adds_4_9_mb(self, booted_uc):
+        report = apply_anticipatory_optimizations(
+            booted_uc, AOLevel.NETWORK_AND_INTERPRETER, SeussCostModel()
+        )
+        assert set(report.passes) == {"network", "interpreter"}
+        assert report.mb_added == pytest.approx(4.9, abs=0.01)
+        # The one-time cost covers the first-use penalties being moved
+        # off the invocation path.
+        costs = SeussCostModel()
+        assert report.time_spent_ms >= (
+            costs.network_first_use_ms + costs.interpreter_first_use_ms
+        )
+
+    def test_report_level_recorded(self, booted_uc):
+        report = apply_anticipatory_optimizations(
+            booted_uc, AOLevel.NETWORK, SeussCostModel()
+        )
+        assert isinstance(report, AOReport)
+        assert report.level is AOLevel.NETWORK

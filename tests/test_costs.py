@@ -1,0 +1,147 @@
+"""Cost-model calibration tests.
+
+These re-derive the paper's headline numbers from the cost constants so
+the calibration documented in DESIGN.md cannot silently drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs import (
+    CostBook,
+    DEFAULT_COSTS,
+    LinuxCostModel,
+    PlatformCostModel,
+    SeussCostModel,
+)
+
+
+@pytest.fixture
+def seuss():
+    return SeussCostModel()
+
+
+@pytest.fixture
+def linux():
+    return LinuxCostModel()
+
+
+class TestSeussCalibration:
+    def test_cold_path_sums_to_7_5_ms(self, seuss):
+        total = (
+            seuss.uc_create_ms
+            + seuss.tcp_connect_ms
+            + seuss.cold_deploy_fault_ms
+            + seuss.import_compile_ms(0.1)
+            + seuss.snapshot_capture_ms(2.0)
+            + seuss.arg_import_ms
+            + 0.5  # NOP execution
+            + seuss.result_return_ms
+        )
+        assert total == pytest.approx(7.5, abs=0.01)
+
+    def test_warm_path_sums_to_3_5_ms(self, seuss):
+        total = (
+            seuss.uc_create_ms
+            + seuss.tcp_connect_ms
+            + seuss.warm_fault_ms(2.0, interpreter_warmed=True)
+            + seuss.arg_import_ms
+            + 0.5
+            + seuss.result_return_ms
+        )
+        assert total == pytest.approx(3.5, abs=0.01)
+
+    def test_hot_path_sums_to_0_8_ms(self, seuss):
+        assert seuss.arg_import_ms + 0.5 + seuss.result_return_ms == pytest.approx(0.8)
+
+    def test_ao_penalties_reproduce_table2_cold_column(self, seuss):
+        # 7.5 + interpreter penalty ~= 16.8; + network penalty ~= 42.
+        assert 7.5 + seuss.interpreter_first_use_ms == pytest.approx(16.8, abs=0.1)
+        assert (
+            7.5 + seuss.interpreter_first_use_ms + seuss.network_first_use_ms
+            == pytest.approx(42.0, abs=0.1)
+        )
+
+    def test_warm_fault_reproduces_table2_warm_column(self, seuss):
+        fixed = 1.8  # create + connect + args + exec + result
+        assert fixed + seuss.warm_fault_ms(4.8, False) == pytest.approx(7.6, abs=0.1)
+        assert fixed + seuss.warm_fault_ms(2.9, False) == pytest.approx(5.5, abs=0.1)
+        assert fixed + seuss.warm_fault_ms(2.0, True) == pytest.approx(3.5, abs=0.1)
+
+    def test_capture_cost_matches_400us_for_2mb(self, seuss):
+        assert seuss.snapshot_capture_ms(2.0) == pytest.approx(0.4, abs=0.01)
+
+    def test_import_grows_with_code_size(self, seuss):
+        assert seuss.import_compile_ms(100.0) > seuss.import_compile_ms(0.1)
+
+
+class TestLinuxCalibration:
+    def test_single_container_on_empty_node(self, linux):
+        assert linux.container_create_ms(existing=0, concurrent=1) == 541.0
+
+    def test_creation_grows_with_existing_containers(self, linux):
+        quiet = linux.container_create_ms(0, 1)
+        crowded = linux.container_create_ms(2000, 1)
+        # "averaging 1.5 s when over 1000 containers"
+        assert 1200 < crowded < 1600
+        assert crowded > quiet
+
+    def test_creation_grows_with_parallelism(self, linux):
+        serial = linux.container_create_ms(0, 1)
+        parallel = linux.container_create_ms(0, 16)
+        assert parallel > serial + 1500
+
+    def test_sixteen_way_parallel_rate_near_5_3_per_s(self, linux):
+        # Average over filling 0..3000 containers at 16-way parallelism.
+        mid = linux.container_create_ms(1500, 16)
+        rate = 16.0 / (mid / 1000.0)
+        assert 4.5 < rate < 6.0
+
+    def test_microvm_boot_exceeds_3s(self, linux):
+        assert linux.microvm_create_ms(1) > 3000
+
+    def test_microvm_parallel_rate_near_1_3_per_s(self, linux):
+        rate = 16.0 / (linux.microvm_create_ms(16) / 1000.0)
+        assert 1.1 < rate < 1.5
+
+    def test_process_parallel_rate_near_45_per_s(self, linux):
+        rate = 16.0 / (linux.process_create_ms / 1000.0)
+        assert 44 < rate < 46
+
+    def test_invalid_arguments_rejected(self, linux):
+        with pytest.raises(ValueError):
+            linux.container_create_ms(-1, 1)
+        with pytest.raises(ValueError):
+            linux.container_create_ms(0, 0)
+        with pytest.raises(ValueError):
+            linux.microvm_create_ms(0)
+
+
+class TestPlatformCalibration:
+    def test_shim_rate_is_128_6_per_s(self):
+        platform = PlatformCostModel()
+        assert platform.shim_max_rate_per_s == pytest.approx(128.6, abs=0.1)
+
+    def test_small_set_throughput_ratio_is_21_percent(self):
+        """Linux hot throughput / shim-capped SEUSS throughput ~= 1.21."""
+        platform = PlatformCostModel()
+        linux = LinuxCostModel()
+        linux_hot_e2e_ms = platform.control_plane_ms + linux.container_hot_ms + 0.5
+        linux_rps = 32 / (linux_hot_e2e_ms / 1000.0)
+        ratio = linux_rps / platform.shim_max_rate_per_s
+        assert ratio == pytest.approx(1.21, abs=0.03)
+
+    def test_default_costbook_is_shared(self):
+        assert isinstance(DEFAULT_COSTS, CostBook)
+        assert DEFAULT_COSTS.seuss == SeussCostModel()
+
+
+class TestDensityCalibration:
+    def test_table3_densities_from_footprints(self):
+        """Footprint constants must reproduce Table 3's densities."""
+        linux = LinuxCostModel()
+        available_mb = 88 * 1024 - 2048  # node memory minus system reserve
+        assert available_mb / linux.process_footprint_mb == pytest.approx(4200, rel=0.01)
+        assert available_mb / linux.container_footprint_mb == pytest.approx(3000, rel=0.01)
+        assert available_mb / linux.microvm_footprint_mb == pytest.approx(450, rel=0.01)

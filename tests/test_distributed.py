@@ -1,0 +1,179 @@
+"""Distributed SEUSS tests: transfers, registry, remote-warm path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.cluster import DistributedSeussCluster, SchedulingPolicy
+from repro.distributed.registry import GlobalSnapshotRegistry
+from repro.distributed.transfer import (
+    ClusterInterconnect,
+    TransferStrategy,
+    transfer_plan,
+)
+from repro.errors import ConfigError
+from repro.sim import Environment
+from repro.workload.functions import nop_function
+
+
+class TestTransferPlans:
+    def test_full_copy_blocks_for_whole_diff(self):
+        plan = transfer_plan(2.0, TransferStrategy.FULL_COPY)
+        assert plan.upfront_ms == pytest.approx(0.15 + 2.0 * 0.84)
+        assert plan.background_ms == 0.0
+        assert plan.residual_penalty_ms == 0.0
+
+    def test_on_demand_ships_working_set_first(self):
+        plan = transfer_plan(2.0, TransferStrategy.ON_DEMAND)
+        assert plan.upfront_ms < transfer_plan(2.0, TransferStrategy.FULL_COPY).upfront_ms
+        assert plan.background_ms > 0
+        assert plan.residual_penalty_ms > 0
+
+    def test_coloring_beats_on_demand_upfront(self):
+        colored = transfer_plan(2.0, TransferStrategy.COLORED)
+        on_demand = transfer_plan(2.0, TransferStrategy.ON_DEMAND)
+        assert colored.upfront_ms < on_demand.upfront_ms
+        assert colored.residual_penalty_ms < on_demand.residual_penalty_ms
+
+    def test_total_wire_time_is_strategy_independent(self):
+        totals = {
+            strategy: transfer_plan(2.0, strategy).total_wire_ms
+            for strategy in TransferStrategy
+        }
+        assert len({round(t, 6) for t in totals.values()}) == 1
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigError):
+            transfer_plan(-1.0, TransferStrategy.FULL_COPY)
+
+
+class TestInterconnect:
+    def test_transfer_returns_after_upfront(self, env):
+        fabric = ClusterInterconnect(env, nodes=2)
+
+        def mover():
+            plan = yield from fabric.transfer(0, 1, 2.0, TransferStrategy.COLORED)
+            return (env.now, plan)
+
+        finished_at, plan = env.run(until=env.process(mover()))
+        assert finished_at == pytest.approx(plan.upfront_ms)
+
+    def test_nic_serializes_transfers(self, env):
+        fabric = ClusterInterconnect(env, nodes=3)
+        finish = []
+
+        def mover(dst):
+            yield from fabric.transfer(0, dst, 10.0, TransferStrategy.FULL_COPY)
+            finish.append(env.now)
+
+        env.process(mover(1))
+        env.process(mover(2))
+        env.run()
+        # Both transfers leave node 0's NIC; the second waits.
+        assert finish[1] >= finish[0] * 2 - 0.5
+
+    def test_same_node_transfer_rejected(self, env):
+        fabric = ClusterInterconnect(env, nodes=2)
+        with pytest.raises(ConfigError):
+            env.run(until=env.process(fabric.transfer(1, 1, 1.0, TransferStrategy.FULL_COPY)))
+
+    def test_stats(self, env):
+        fabric = ClusterInterconnect(env, nodes=2)
+        env.run(until=env.process(fabric.transfer(0, 1, 2.0, TransferStrategy.FULL_COPY)))
+        env.run()
+        assert fabric.stats.transfers == 1
+        assert fabric.stats.mb_moved == 2.0
+
+
+class TestRegistry:
+    def test_register_locate_drop(self):
+        registry = GlobalSnapshotRegistry()
+        registry.register("fn", 0, 2.0)
+        registry.register("fn", 2, 2.0)
+        assert registry.holders("fn") == [0, 2]
+        assert registry.replica_count("fn") == 2
+        registry.drop("fn", 0)
+        assert registry.holders("fn") == [2]
+        registry.drop("fn", 2)
+        assert "fn" not in registry
+
+    def test_locate_tracks_popularity(self):
+        registry = GlobalSnapshotRegistry()
+        registry.register("fn", 0, 2.0)
+        registry.locate("fn")
+        registry.locate("fn")
+        assert registry.popularity("fn") == 2
+
+    def test_drop_unknown_is_noop(self):
+        GlobalSnapshotRegistry().drop("ghost", 3)
+
+
+class TestCluster:
+    @pytest.fixture
+    def cluster(self):
+        return DistributedSeussCluster(Environment(), node_count=3)
+
+    def test_cold_registers_replica(self, cluster):
+        fn = nop_function(owner="d0")
+        result = cluster.invoke_sync(fn)
+        assert result.path == "cold"
+        assert cluster.replica_count(fn.key) == 1
+
+    def test_remote_warm_beats_cold(self, cluster):
+        fn = nop_function(owner="d1")
+        cold = cluster.invoke_sync(fn)
+        home = cold.node_id
+        # Make the home node unattractive and drop its idle UC so the
+        # scheduler places the next request elsewhere.
+        cluster.nodes[home].uc_cache.drop_function(fn.key)
+        cluster._in_flight[home] = 10
+        remote = cluster.invoke_sync(fn)
+        assert remote.node_id != home
+        assert remote.path == "remote_warm"
+        assert remote.transferred_mb > 0
+        assert remote.latency_ms < cold.latency_ms
+        assert cluster.replica_count(fn.key) == 2
+
+    def test_affinity_policy_avoids_transfers(self):
+        cluster = DistributedSeussCluster(
+            Environment(), node_count=3, policy=SchedulingPolicy.SNAPSHOT_AFFINITY
+        )
+        fn = nop_function(owner="d2")
+        cold = cluster.invoke_sync(fn)
+        cluster.nodes[cold.node_id].uc_cache.drop_function(fn.key)
+        # Even with the holder loaded, affinity sends the request home.
+        cluster._in_flight[cold.node_id] = 10
+        again = cluster.invoke_sync(fn)
+        assert again.node_id == cold.node_id
+        assert again.path == "warm"
+        assert cluster.stats.transfers == 0
+
+    def test_round_robin_spreads_requests(self):
+        cluster = DistributedSeussCluster(
+            Environment(), node_count=3, policy=SchedulingPolicy.ROUND_ROBIN
+        )
+        for index in range(6):
+            cluster.invoke_sync(nop_function(owner=f"rr{index}"))
+        assert set(cluster.stats.per_node) == {0, 1, 2}
+
+    def test_eviction_drops_replica_from_registry(self):
+        from repro.seuss.config import SeussConfig
+
+        cluster = DistributedSeussCluster(
+            Environment(),
+            node_count=2,
+            config=SeussConfig(snapshot_cache_budget_mb=10.0),
+            policy=SchedulingPolicy.ROUND_ROBIN,
+        )
+        functions = [nop_function(owner=f"ev{i}") for i in range(10)]
+        for fn in functions:
+            cluster.invoke_sync(fn)
+            cluster.nodes[0].uc_cache.clear()
+            cluster.nodes[1].uc_cache.clear()
+        # Budget fits ~4 snapshots per node; early replicas must be gone
+        # from the registry, not just the node caches.
+        assert cluster.replica_count(functions[0].key) == 0
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ConfigError):
+            DistributedSeussCluster(Environment(), node_count=0)

@@ -1,0 +1,114 @@
+"""Direct InvocationDriver tests: protocol, stats, first-use logic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.frames import FrameAllocator
+from repro.unikernel.context import UnikernelContext, layout_for
+from repro.unikernel.driver import DriverProtocolError, DriverState
+from repro.unikernel.interpreters import NODEJS
+
+
+@pytest.fixture
+def alloc():
+    return FrameAllocator(10_000_000)
+
+
+@pytest.fixture
+def deployed(alloc):
+    """A UC deployed from a fully-AO'd base, driver still INIT."""
+    boot = UnikernelContext(alloc, NODEJS)
+    boot.boot()
+    boot.warm_network()
+    boot.warm_interpreter()
+    base = boot.capture_snapshot("base")
+    base.retain()
+    return UnikernelContext(alloc, NODEJS, base=base)
+
+
+class TestProtocol:
+    def test_state_progression(self, deployed):
+        driver = deployed.driver
+        assert driver.state is DriverState.INIT
+        driver.start_listening()
+        assert driver.state is DriverState.LISTENING
+        driver.accept_connection()
+        assert driver.state is DriverState.CONNECTED
+        driver.import_code(0.1, NODEJS.import_base_pages)
+        assert driver.state is DriverState.READY
+        driver.import_args()
+        driver.execute(38)
+        assert driver.state is DriverState.READY  # back after running
+
+    def test_accept_before_listen_rejected(self, deployed):
+        with pytest.raises(DriverProtocolError):
+            deployed.driver.accept_connection()
+
+    def test_import_before_connect_rejected(self, deployed):
+        deployed.driver.start_listening()
+        with pytest.raises(DriverProtocolError):
+            deployed.driver.import_code(0.1, 10)
+
+    def test_execute_before_import_rejected(self, deployed):
+        driver = deployed.driver
+        driver.start_listening()
+        driver.accept_connection()
+        with pytest.raises(DriverProtocolError):
+            driver.execute(10)
+
+    def test_restore_ready_requires_connected(self, deployed):
+        with pytest.raises(DriverProtocolError):
+            deployed.driver.restore_ready(0.1)
+        deployed.driver.start_listening()
+        deployed.driver.accept_connection()
+        deployed.driver.restore_ready(0.1)
+        assert deployed.driver.state is DriverState.READY
+        assert deployed.driver.imported_code_kb == 0.1
+
+    def test_args_allowed_when_ready_or_connected(self, deployed):
+        driver = deployed.driver
+        driver.start_listening()
+        driver.accept_connection()
+        driver.import_args()  # CONNECTED is acceptable (arg prefetch)
+        driver.import_code(0.1, 10)
+        driver.import_args()
+
+
+class TestStats:
+    def test_page_tallies_accumulate(self, deployed):
+        driver = deployed.driver
+        driver.start_listening()
+        driver.accept_connection()
+        driver.import_code(0.1, NODEJS.import_base_pages)
+        written = driver.stats.pages_written
+        assert written == (
+            NODEJS.listen_pages + NODEJS.conn_pages + NODEJS.import_base_pages
+        )
+        # Deployed from a snapshot: every write was a COW copy.
+        assert driver.stats.pages_copied == written
+
+    def test_first_use_events_empty_when_warmed(self, deployed):
+        driver = deployed.driver
+        driver.start_listening()
+        driver.accept_connection()
+        driver.import_code(0.1, 10)
+        driver.execute(10)
+        assert driver.stats.first_use_events == {}
+
+    def test_first_use_events_recorded_when_unwarmed(self, alloc):
+        boot = UnikernelContext(alloc, NODEJS)
+        boot.boot()
+        base = boot.capture_snapshot("unwarmed")
+        base.retain()
+        uc = UnikernelContext(alloc, NODEJS, base=base)
+        uc.start_listening()
+        uc.accept_connection()
+        uc.import_function("fn", 0.1)
+        events = uc.driver.stats.first_use_events
+        assert events == {"ao_network": 1, "ao_interpreter": 1}
+
+
+class TestLayoutCache:
+    def test_layouts_shared_per_runtime(self):
+        assert layout_for(NODEJS) is layout_for(NODEJS)

@@ -1,0 +1,98 @@
+"""Keep the examples green: run each one in-process.
+
+Examples are user-facing documentation; this smoke suite executes every
+``examples/*.py`` main() and checks its headline output so drift in the
+library API or in calibrated behaviour shows up in CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_example(name: str, capsys) -> str:
+    module = load_example(name)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_examples_directory_contents():
+    names = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+    assert names == [
+        "anticipatory_optimization",
+        "burst_resiliency",
+        "cache_density",
+        "custom_runtime",
+        "distributed_cache",
+        "quickstart",
+        "security_audit",
+        "zipf_workload",
+    ]
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "cold start: 7.50 ms" in out
+    assert "hot start:  0.80 ms" in out
+    assert "warm start: 3.49 ms" in out
+
+
+def test_anticipatory_optimization(capsys):
+    out = run_example("anticipatory_optimization", capsys)
+    assert "none" in out and "network+interpreter" in out
+    assert "one base + two diffs" in out
+
+
+def test_cache_density(capsys):
+    out = run_example("cache_density", capsys)
+    assert "SEUSS UC" in out
+    assert "Docker container" in out
+
+
+def test_security_audit(capsys):
+    out = run_example("security_audit", capsys)
+    assert "ptrace rejected at the boundary" in out
+    assert "26x smaller" in out
+
+
+def test_distributed_cache(capsys):
+    out = run_example("distributed_cache", capsys)
+    assert "remote_warm" in out
+    assert "4 of 4 nodes" in out
+
+
+def test_custom_runtime(capsys):
+    out = run_example("custom_runtime", capsys)
+    assert "quickjs" in out
+
+
+@pytest.mark.slow
+def test_burst_resiliency(capsys):
+    module = load_example("burst_resiliency")
+    module.run_backend("seuss", 16.0)
+    out = capsys.readouterr().out
+    assert "background:" in out
+    assert "0 errors" in out
+
+
+@pytest.mark.slow
+def test_zipf_workload(capsys):
+    module = load_example("zipf_workload")
+    stats = module.run_backend("seuss")
+    assert stats["errors"] == 0
+    assert stats["tail_p99"] < 1000

@@ -1,0 +1,169 @@
+"""Experiment-harness tests at reduced scale.
+
+Each test asserts the *paper-shape* invariant the corresponding table or
+figure establishes, on a run small enough for CI.  Full-scale runs are
+driven by ``seuss-repro`` and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.bursts import run_burst_scenario
+from repro.experiments.figure4 import measure_point
+from repro.experiments.figure5 import measure_latency_summary
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import PAPER_COLD_MS, PAPER_WARM_MS, measure_ao_level
+from repro.experiments.table3 import measure_creation_rate, measure_density
+from repro.seuss.config import AOLevel
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table1(self):
+        return run_table1(invocations=25)
+
+    def test_snapshot_sizes_match_paper(self, table1):
+        values = {row[0]: row for row in table1.rows}
+        for label, paper_mb in (
+            ("Node.js runtime snapshot (MB)", 109.6),
+            ("Node.js runtime snapshot after AO (MB)", 114.5),
+            ("NOP function snapshot (MB)", 4.8),
+            ("NOP function snapshot after AO (MB)", 2.0),
+        ):
+            assert values[label][2] == pytest.approx(paper_mb, abs=0.1)
+
+    def test_latencies_match_paper(self, table1):
+        values = {row[0]: row for row in table1.rows}
+        for label, paper_ms in (
+            ("cold start latency (ms)", 7.5),
+            ("warm start latency (ms)", 3.5),
+            ("hot start latency (ms)", 0.8),
+        ):
+            assert values[label][2] == pytest.approx(paper_ms, abs=0.1)
+
+    def test_is_experiment_result(self, table1):
+        assert isinstance(table1, ExperimentResult)
+        assert "table1" in table1.to_text()
+
+
+class TestTable2:
+    @pytest.mark.parametrize("level", list(AOLevel))
+    def test_ao_levels_match_paper(self, level):
+        cold_ms, warm_ms = measure_ao_level(level, invocations=5)
+        assert cold_ms == pytest.approx(PAPER_COLD_MS[level], rel=0.03)
+        assert warm_ms == pytest.approx(PAPER_WARM_MS[level], rel=0.03)
+
+    def test_ao_ordering(self):
+        colds = [measure_ao_level(level, 3)[0] for level in AOLevel]
+        assert colds[0] > colds[1] > colds[2]
+
+
+class TestTable3:
+    def test_density_ordering_matches_paper(self):
+        """microVM << container < process << SEUSS UC."""
+        densities = {
+            method: measure_density(method, limit=6000).density
+            for method in ("microvm", "container", "process", "seuss_uc")
+        }
+        assert densities["microvm"] == pytest.approx(450, rel=0.02)
+        assert densities["container"] == pytest.approx(3000, rel=0.02)
+        assert densities["process"] == pytest.approx(4200, rel=0.02)
+        assert densities["seuss_uc"] == 6000  # hit the cap, far beyond Linux
+
+    def test_seuss_density_exceeds_54000(self):
+        measurement = measure_density("seuss_uc")
+        assert measurement.density > 54_000
+        assert measurement.per_instance_mb < 2.0
+
+    def test_creation_rates_match_paper(self):
+        assert measure_creation_rate("process", 480) == pytest.approx(45.0, rel=0.05)
+        assert measure_creation_rate("microvm", 64) == pytest.approx(1.3, rel=0.1)
+        assert measure_creation_rate("seuss_uc", 2000) == pytest.approx(
+            128.6, rel=0.03
+        )
+
+    def test_container_rate_near_paper(self):
+        rate = measure_creation_rate("container", 400)
+        assert 4.0 < rate < 6.5  # paper: 5.3/s
+
+    def test_seuss_rate_is_shim_limited(self):
+        """Without the shim the node deploys far faster than 128.6/s."""
+        from repro.seuss.node import SeussNode
+        from repro.sim import Environment
+
+        env = Environment()
+        node = SeussNode(env)
+        node.initialize_sync()
+        started = env.now
+        for _ in range(500):
+            env.run(until=env.process(node.deploy_idle_instance()))
+        rate = 500 / ((env.now - started) / 1000.0)
+        assert rate > 1000  # sub-millisecond deploys
+
+
+class TestFigure4:
+    def test_linux_wins_at_small_set_sizes(self):
+        # Long enough for Linux's cold-start transient to amortize out.
+        linux = measure_point(64, "linux", invocations=5000)
+        seuss = measure_point(64, "seuss", invocations=5000)
+        ratio = linux["rps"] / seuss["rps"]
+        assert ratio == pytest.approx(1.21, abs=0.06)
+
+    def test_seuss_wins_heavily_on_unique_workload(self):
+        linux = measure_point(65536, "linux", invocations=1200)
+        seuss = measure_point(65536, "seuss", invocations=1200)
+        assert seuss["rps"] / linux["rps"] > 30
+        assert seuss["error_rate"] == 0.0
+        assert linux["error_rate"] > 0.02
+
+    def test_seuss_throughput_is_flat(self):
+        small = measure_point(64, "seuss", invocations=1200)
+        large = measure_point(65536, "seuss", invocations=1200)
+        assert small["rps"] == pytest.approx(large["rps"], rel=0.02)
+
+    def test_linux_collapses_past_cache_limit(self):
+        before = measure_point(256, "linux", invocations=1500)
+        after = measure_point(2048, "linux", invocations=1200)
+        assert after["rps"] < before["rps"] / 5
+
+
+class TestFigure5:
+    def test_linux_distribution_explodes_with_set_size(self):
+        small = measure_latency_summary(64, "linux", invocations=1200)
+        large = measure_latency_summary(2048, "linux", invocations=1200)
+        assert large.p50 > 5 * small.p50
+        assert large.p99 > small.p99
+
+    def test_seuss_distribution_stays_flat(self):
+        small = measure_latency_summary(64, "seuss", invocations=1200)
+        large = measure_latency_summary(2048, "seuss", invocations=1200)
+        assert large.p50 == pytest.approx(small.p50, rel=0.1)
+
+    def test_linux_beats_seuss_at_small_sizes(self):
+        linux = measure_latency_summary(64, "linux", invocations=1200)
+        seuss = measure_latency_summary(64, "seuss", invocations=1200)
+        assert linux.p50 < seuss.p50
+
+
+class TestBursts:
+    def test_seuss_survives_every_frequency(self):
+        for interval_s in (32, 16, 8):
+            run = run_burst_scenario(interval_s, "seuss", burst_count=3)
+            assert run.total_errors == 0, interval_s
+
+    def test_linux_errors_once_cache_exhausts_at_32s(self):
+        run = run_burst_scenario(32, "linux", burst_count=6)
+        assert run.burst_errors > 0
+        assert run.first_failing_burst() >= 4  # paper: around the 5th
+
+    def test_linux_cold_starts_reach_tens_of_seconds_at_8s(self):
+        run = run_burst_scenario(8, "linux", burst_count=8)
+        assert run.burst_latency_max_ms() > 10_000  # paper: 10-60 s
+        assert run.burst_errors > 0
+
+    def test_seuss_adds_one_snapshot_per_burst(self):
+        run = run_burst_scenario(16, "seuss", burst_count=3)
+        keys = {burst[0].function_key for burst in run.bursts}
+        assert len(keys) == 3

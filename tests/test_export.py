@@ -1,0 +1,115 @@
+"""Export-module and experiment-base tests."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.faas.cluster import FaasCluster
+from repro.metrics.export import (
+    experiment_to_dict,
+    write_burst_points_csv,
+    write_experiments_json,
+    write_results_csv,
+)
+from repro.sim import Environment
+from repro.workload.burst import BurstConfig, BurstWorkload
+from repro.workload.functions import unique_nop_set
+from repro.workload.generator import run_trial
+
+
+@pytest.fixture
+def trial():
+    cluster = FaasCluster.with_seuss_node(Environment())
+    return run_trial(cluster, unique_nop_set(4), invocation_count=30, workers=4)
+
+
+class TestCsvExport:
+    def test_results_roundtrip(self, trial, tmp_path):
+        path = tmp_path / "results.csv"
+        rows = write_results_csv(str(path), trial.results)
+        assert rows == 30
+        with open(path) as handle:
+            parsed = list(csv.DictReader(handle))
+        assert len(parsed) == 30
+        assert parsed[0]["path"] in ("cold", "warm", "hot")
+        assert float(parsed[0]["latency_ms"]) > 0
+
+    def test_burst_points(self, tmp_path):
+        cluster = FaasCluster.with_seuss_node(Environment())
+        config = BurstConfig(
+            burst_interval_ms=1000,
+            burst_count=2,
+            burst_size=4,
+            background_workers=2,
+            background_functions=1,
+            background_rate_per_s=10.0,
+            warmup_ms=100.0,
+        )
+        result = BurstWorkload(config).run(cluster)
+        path = tmp_path / "points.csv"
+        rows = write_burst_points_csv(str(path), result)
+        assert rows == len(result.points())
+        with open(path) as handle:
+            parsed = list(csv.DictReader(handle))
+        kinds = {row["kind"] for row in parsed}
+        assert kinds == {"background", "burst"}
+
+
+class TestJsonExport:
+    def make_experiment(self) -> ExperimentResult:
+        result = ExperimentResult(
+            experiment_id="demo",
+            title="Demo",
+            headers=["quantity", "paper", "measured"],
+        )
+        result.add_row("latency", 7.5, 7.49)
+        result.add_note("a note")
+        return result
+
+    def test_experiment_to_dict(self):
+        payload = experiment_to_dict(self.make_experiment())
+        assert payload["experiment_id"] == "demo"
+        assert payload["rows"] == [["latency", 7.5, 7.49]]
+        assert payload["notes"] == ["a note"]
+
+    def test_write_and_parse(self, tmp_path):
+        path = tmp_path / "experiments.json"
+        write_experiments_json(str(path), [self.make_experiment()])
+        with open(path) as handle:
+            parsed = json.load(handle)
+        assert len(parsed["experiments"]) == 1
+        assert parsed["experiments"][0]["title"] == "Demo"
+
+    def test_non_jsonable_values_stringified(self):
+        result = ExperimentResult("x", "X", ["a"])
+        result.add_row(object())
+        payload = experiment_to_dict(result)
+        assert isinstance(payload["rows"][0][0], str)
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        path = tmp_path / "out.json"
+        assert main(["table2", "--quick", f"--json={path}"]) == 0
+        with open(path) as handle:
+            parsed = json.load(handle)
+        assert parsed["experiments"][0]["experiment_id"] == "table2"
+
+
+class TestExperimentResultBase:
+    def test_row_arity_enforced(self):
+        result = ExperimentResult("x", "X", ["a", "b"])
+        with pytest.raises(ValueError):
+            result.add_row("only one")
+
+    def test_to_text_contains_everything(self):
+        result = ExperimentResult("id1", "Title Here", ["h1", "h2"])
+        result.add_row("v", 3)
+        result.add_note("note here")
+        text = result.to_text()
+        assert "id1" in text and "Title Here" in text
+        assert "h1" in text and "note here" in text

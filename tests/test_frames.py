@@ -1,0 +1,130 @@
+"""FrameAllocator tests: accounting, categories, pressure, OOM."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OutOfMemoryError
+from repro.mem.frames import FrameAllocator, node_allocator
+from repro.units import gb_to_pages, mb_to_pages
+
+
+class TestAllocation:
+    def test_basic_accounting(self):
+        allocator = FrameAllocator(1000)
+        allocator.allocate(300)
+        assert allocator.allocated_pages == 300
+        assert allocator.free_pages == 700
+        allocator.free(100)
+        assert allocator.allocated_pages == 200
+
+    def test_zero_allocation_noop(self):
+        allocator = FrameAllocator(10)
+        assert allocator.allocate(0) == 0
+        assert allocator.allocated_pages == 0
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(10).allocate(-1)
+
+    def test_oom_raised_when_exhausted(self):
+        allocator = FrameAllocator(100)
+        allocator.allocate(90)
+        with pytest.raises(OutOfMemoryError):
+            allocator.allocate(11)
+        # Failed allocation must not consume anything.
+        assert allocator.allocated_pages == 90
+
+    def test_try_allocate(self):
+        allocator = FrameAllocator(100)
+        assert allocator.try_allocate(60)
+        assert not allocator.try_allocate(41)
+        assert allocator.allocated_pages == 60
+
+    def test_peak_tracks_high_water_mark(self):
+        allocator = FrameAllocator(100)
+        allocator.allocate(80)
+        allocator.free(50)
+        allocator.allocate(10)
+        assert allocator.peak_pages == 80
+
+    def test_invalid_total(self):
+        with pytest.raises(ValueError):
+            FrameAllocator(0)
+
+
+class TestCategories:
+    def test_per_category_accounting(self):
+        allocator = FrameAllocator(1000)
+        allocator.allocate(100, category="snapshot")
+        allocator.allocate(200, category="uc_private")
+        assert allocator.category_pages("snapshot") == 100
+        assert allocator.category_pages("uc_private") == 200
+        assert allocator.category_pages("absent") == 0
+
+    def test_free_wrong_category_rejected(self):
+        allocator = FrameAllocator(1000)
+        allocator.allocate(100, category="a")
+        with pytest.raises(ValueError):
+            allocator.free(100, category="b")
+
+    def test_free_more_than_held_rejected(self):
+        allocator = FrameAllocator(1000)
+        allocator.allocate(50, category="a")
+        with pytest.raises(ValueError):
+            allocator.free(51, category="a")
+
+    def test_stats_snapshot(self):
+        allocator = FrameAllocator(1000)
+        allocator.allocate(250, category="x")
+        stats = allocator.stats()
+        assert stats.total_pages == 1000
+        assert stats.allocated_pages == 250
+        assert stats.free_pages == 750
+        assert stats.by_category == {"x": 250}
+        assert 0 < stats.utilization < 1
+
+
+class TestPressure:
+    def test_reclaim_hook_invoked_under_pressure(self):
+        allocator = FrameAllocator(1000)
+        allocator.pressure_threshold_pages = 100
+        reclaimed = []
+
+        def hook(needed):
+            reclaimed.append(needed)
+            allocator.free(200, category="idle")
+            return 200
+
+        allocator.allocate(800, category="idle")
+        allocator.add_reclaim_hook(hook)
+        # 800 allocated, 200 free; asking 150 would leave free < threshold.
+        allocator.allocate(150, category="live")
+        assert reclaimed, "hook should have run"
+        assert allocator.allocated_pages == 750
+
+    def test_hook_not_invoked_when_plenty_free(self):
+        allocator = FrameAllocator(1000)
+        allocator.pressure_threshold_pages = 10
+        calls = []
+        allocator.add_reclaim_hook(lambda needed: calls.append(needed) or 0)
+        allocator.allocate(100)
+        assert calls == []
+
+    def test_oom_after_failed_reclaim(self):
+        allocator = FrameAllocator(100)
+        allocator.add_reclaim_hook(lambda needed: 0)  # can't help
+        allocator.allocate(100)
+        with pytest.raises(OutOfMemoryError):
+            allocator.allocate(1)
+
+
+class TestNodeAllocator:
+    def test_node_allocator_reserves_system_memory(self):
+        allocator = node_allocator(88.0, reserved_mb=512.0)
+        assert allocator.total_pages == gb_to_pages(88.0)
+        assert allocator.category_pages("system") == mb_to_pages(512.0)
+
+    def test_node_allocator_without_reservation(self):
+        allocator = node_allocator(1.0, reserved_mb=0.0)
+        assert allocator.allocated_pages == 0

@@ -1,0 +1,172 @@
+"""Cross-module integration scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faas.cluster import FaasCluster
+from repro.faas.records import InvocationPath
+from repro.seuss.audit import audit_node
+from repro.seuss.config import SeussConfig
+from repro.seuss.node import SeussNode
+from repro.sim import Environment
+from repro.workload.functions import (
+    cpu_bound_function,
+    io_bound_function,
+    nop_function,
+    unique_nop_set,
+)
+from repro.workload.generator import run_trial
+
+
+class TestConcurrency:
+    def test_concurrent_colds_of_distinct_functions(self, seuss_node):
+        env = seuss_node.env
+        procs = [
+            seuss_node.invoke(nop_function(owner=f"cc-{i}")) for i in range(32)
+        ]
+        env.run(until=env.all_of(procs))
+        results = [p.value for p in procs]
+        assert all(r.success for r in results)
+        assert all(r.path is InvocationPath.COLD for r in results)
+        # 32 cold paths across 16 cores: at least two waves of work.
+        slowest = max(r.latency_ms for r in results)
+        fastest = min(r.latency_ms for r in results)
+        assert slowest >= fastest * 1.5
+        assert audit_node(seuss_node) == []
+
+    def test_concurrent_invocations_of_one_function(self, seuss_node):
+        """Many UCs launched from one snapshot concurrently (§3)."""
+        env = seuss_node.env
+        fn = cpu_bound_function("parallel", exec_ms=50.0)
+        seuss_node.invoke_sync(fn)  # build the snapshot
+        procs = [seuss_node.invoke(fn) for _ in range(10)]
+        env.run(until=env.all_of(procs))
+        results = [p.value for p in procs]
+        assert all(r.success for r in results)
+        # One hot (the cached idle UC), the rest warm from the shared
+        # function snapshot.
+        paths = sorted(r.path.value for r in results)
+        assert paths.count("hot") == 1
+        assert paths.count("warm") == 9
+        assert audit_node(seuss_node) == []
+
+    def test_mixed_cpu_io_workload_uses_cores_well(self, seuss_node):
+        env = seuss_node.env
+        io_fns = [io_bound_function(f"io-{i}") for i in range(8)]
+        cpu_fns = [cpu_bound_function(f"cpu-{i}") for i in range(8)]
+        procs = [seuss_node.invoke(fn) for fn in io_fns + cpu_fns]
+        env.run(until=env.all_of(procs))
+        assert all(p.value.success for p in procs)
+        # IO functions release their cores while blocked, so the whole
+        # batch fits well under the serialized bound.
+        io_latency = max(p.value.latency_ms for p in procs[:8])
+        assert io_latency < 600  # 250 ms block + modest queueing
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        def run_once():
+            cluster = FaasCluster.with_linux_node(Environment())
+            trial = run_trial(
+                cluster,
+                unique_nop_set(128),
+                invocation_count=600,
+                workers=16,
+                seed=1234,
+            )
+            return [
+                (r.function_key, r.path.value, round(r.latency_ms, 6))
+                for r in trial.results
+            ]
+
+        assert run_once() == run_once()
+
+    def test_different_seed_different_order(self):
+        def order(seed):
+            cluster = FaasCluster.with_seuss_node(Environment())
+            trial = run_trial(
+                cluster,
+                unique_nop_set(64),
+                invocation_count=200,
+                workers=8,
+                seed=seed,
+            )
+            return [r.function_key for r in trial.results]
+
+        assert order(1) != order(2)
+
+
+class TestMultiRuntimeEndToEnd:
+    def test_python_functions_full_platform(self):
+        from repro.faas.records import FunctionSpec
+
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(
+            env, config=SeussConfig(runtimes=("nodejs", "python"))
+        )
+        py_fn = FunctionSpec(name="py", runtime="python", exec_ms=1.0)
+        js_fn = nop_function()
+        py_result = cluster.invoke_sync(py_fn)
+        js_result = cluster.invoke_sync(js_fn)
+        assert py_result.success and js_result.success
+        node = cluster.node
+        assert py_fn.key in node.snapshot_cache
+        assert js_fn.key in node.snapshot_cache
+        py_snap = node.snapshot_cache.get(py_fn.key)
+        js_snap = node.snapshot_cache.get(js_fn.key)
+        assert py_snap.parent is node.runtime_record("python").snapshot
+        assert js_snap.parent is node.runtime_record("nodejs").snapshot
+
+
+class TestMemoryHygieneAtScale:
+    def test_trial_leaves_node_auditable(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(env)
+        run_trial(cluster, unique_nop_set(256), invocation_count=1500, workers=32)
+        assert audit_node(cluster.node) == []
+
+    def test_teardown_after_trial_releases_everything(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(env)
+        run_trial(cluster, unique_nop_set(64), invocation_count=400, workers=16)
+        node = cluster.node
+        node.uc_cache.clear()
+        node.snapshot_cache.clear()
+        stats = node.allocator.stats()
+        runtime_pages = sum(
+            record.snapshot.footprint_pages
+            for record in node.runtime_records.values()
+        )
+        assert stats.by_category.get("snapshot", 0) == runtime_pages
+        assert stats.by_category.get("uc_private", 0) == 0
+        assert stats.by_category.get("uc_page_table", 0) == 0
+
+    def test_linux_node_memory_balances_after_trial(self):
+        env = Environment()
+        cluster = FaasCluster.with_linux_node(env)
+        run_trial(cluster, unique_nop_set(64), invocation_count=400, workers=16)
+        node = cluster.node
+        stats = node.allocator.stats()
+        container_pages = stats.by_category.get("container", 0)
+        from repro.linuxnode.instances import InstanceKind
+
+        per_container = InstanceKind.CONTAINER.footprint_pages(node.costs.linux)
+        assert container_pages == node.total_containers * per_container
+
+
+class TestSnapshotStacksAblationEndToEnd:
+    def test_flat_mode_still_correct_but_fat(self):
+        flat_node = SeussNode(Environment(), SeussConfig(snapshot_stacks=False))
+        flat_node.initialize_sync()
+        fn = nop_function(owner="flat")
+        cold = flat_node.invoke_sync(fn)
+        assert cold.success
+        snapshot = flat_node.snapshot_cache.get(fn.key)
+        assert snapshot.parent is None
+        assert snapshot.size_mb > 100  # the whole image, not a diff
+        flat_node.uc_cache.drop_function(fn.key)
+        warm = flat_node.invoke_sync(fn)
+        assert warm.path is InvocationPath.WARM
+        # Warm latency is still diff-driven, not image-driven.
+        assert warm.latency_ms < 10

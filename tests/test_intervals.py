@@ -1,0 +1,205 @@
+"""IntervalSet: unit tests plus property tests against a set-of-ints model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.intervals import IntervalSet
+
+
+class TestBasics:
+    def test_empty(self):
+        intervals = IntervalSet()
+        assert intervals.page_count == 0
+        assert not intervals
+        assert list(intervals) == []
+
+    def test_single_interval(self):
+        intervals = IntervalSet([(10, 20)])
+        assert intervals.page_count == 10
+        assert 10 in intervals
+        assert 19 in intervals
+        assert 20 not in intervals
+        assert 9 not in intervals
+
+    def test_add_merges_adjacent(self):
+        intervals = IntervalSet()
+        intervals.add(0, 10)
+        intervals.add(10, 20)
+        assert intervals.intervals() == [(0, 20)]
+
+    def test_add_merges_overlapping(self):
+        intervals = IntervalSet([(0, 10), (20, 30)])
+        intervals.add(5, 25)
+        assert intervals.intervals() == [(0, 30)]
+
+    def test_add_keeps_disjoint_separate(self):
+        intervals = IntervalSet()
+        intervals.add(0, 5)
+        intervals.add(10, 15)
+        assert intervals.intervals() == [(0, 5), (10, 15)]
+        assert intervals.extent_count == 2
+
+    def test_add_empty_interval_noop(self):
+        intervals = IntervalSet()
+        intervals.add(5, 5)
+        assert not intervals
+
+    def test_add_inverted_interval_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalSet().add(10, 5)
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalSet().add(-1, 5)
+
+    def test_discard_middle_splits(self):
+        intervals = IntervalSet([(0, 30)])
+        intervals.discard(10, 20)
+        assert intervals.intervals() == [(0, 10), (20, 30)]
+
+    def test_discard_across_extents(self):
+        intervals = IntervalSet([(0, 10), (20, 30), (40, 50)])
+        intervals.discard(5, 45)
+        assert intervals.intervals() == [(0, 5), (45, 50)]
+
+    def test_discard_missing_is_noop(self):
+        intervals = IntervalSet([(0, 10)])
+        intervals.discard(100, 200)
+        assert intervals.intervals() == [(0, 10)]
+
+    def test_copy_is_independent(self):
+        original = IntervalSet([(0, 10)])
+        clone = original.copy()
+        clone.add(100, 110)
+        assert original.page_count == 10
+        assert clone.page_count == 20
+
+    def test_equality(self):
+        assert IntervalSet([(0, 5), (5, 10)]) == IntervalSet([(0, 10)])
+        assert IntervalSet([(0, 5)]) != IntervalSet([(0, 6)])
+
+    def test_from_pages(self):
+        intervals = IntervalSet.from_pages([3, 1, 2, 7])
+        assert intervals.intervals() == [(1, 4), (7, 8)]
+
+    def test_pages_iteration(self):
+        intervals = IntervalSet([(0, 3), (10, 12)])
+        assert list(intervals.pages()) == [0, 1, 2, 10, 11]
+
+
+class TestQueries:
+    def test_missing_in_range_full_gap(self):
+        intervals = IntervalSet()
+        assert intervals.missing_in_range(5, 15) == [(5, 15)]
+
+    def test_missing_in_range_no_gap(self):
+        intervals = IntervalSet([(0, 100)])
+        assert intervals.missing_in_range(10, 20) == []
+
+    def test_missing_in_range_partial(self):
+        intervals = IntervalSet([(10, 20), (30, 40)])
+        assert intervals.missing_in_range(0, 50) == [(0, 10), (20, 30), (40, 50)]
+
+    def test_overlap_size(self):
+        intervals = IntervalSet([(10, 20), (30, 40)])
+        assert intervals.overlap_size(15, 35) == 10
+        assert intervals.overlap_size(0, 5) == 0
+        assert intervals.overlap_size(10, 40) == 20
+
+    def test_intersect_range_clips(self):
+        intervals = IntervalSet([(10, 20)])
+        assert intervals.intersect_range(15, 25) == [(15, 20)]
+
+    def test_set_algebra(self):
+        left = IntervalSet([(0, 10)])
+        right = IntervalSet([(5, 15)])
+        assert left.union(right).intervals() == [(0, 15)]
+        assert left.intersection(right).intervals() == [(5, 10)]
+        assert left.difference(right).intervals() == [(0, 5)]
+
+    def test_subset_and_disjoint(self):
+        small = IntervalSet([(2, 4)])
+        big = IntervalSet([(0, 10)])
+        other = IntervalSet([(20, 30)])
+        assert small.issubset(big)
+        assert not big.issubset(small)
+        assert small.isdisjoint(other)
+        assert not small.isdisjoint(big)
+
+
+# -- property tests against a naive model --------------------------------
+
+interval_strategy = st.tuples(
+    st.integers(min_value=0, max_value=200),
+    st.integers(min_value=0, max_value=200),
+).map(lambda pair: (min(pair), max(pair) + 1))
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["add", "discard"]), interval_strategy),
+    max_size=30,
+)
+
+
+def apply_ops(ops):
+    intervals = IntervalSet()
+    model = set()
+    for op, (start, stop) in ops:
+        if op == "add":
+            intervals.add(start, stop)
+            model.update(range(start, stop))
+        else:
+            intervals.discard(start, stop)
+            model.difference_update(range(start, stop))
+    return intervals, model
+
+
+class TestProperties:
+    @given(ops_strategy)
+    @settings(max_examples=200)
+    def test_matches_set_model(self, ops):
+        intervals, model = apply_ops(ops)
+        assert set(intervals.pages()) == model
+        assert intervals.page_count == len(model)
+
+    @given(ops_strategy)
+    def test_intervals_sorted_disjoint_nonempty(self, ops):
+        intervals, _ = apply_ops(ops)
+        spans = intervals.intervals()
+        for start, stop in spans:
+            assert start < stop
+        for (_, prev_stop), (next_start, _) in zip(spans, spans[1:]):
+            # No overlap AND no adjacency (adjacent spans must merge).
+            assert next_start > prev_stop
+
+    @given(ops_strategy, interval_strategy)
+    def test_missing_in_range_partitions(self, ops, probe):
+        """overlap + missing must exactly tile the probed range."""
+        intervals, model = apply_ops(ops)
+        start, stop = probe
+        missing = intervals.missing_in_range(start, stop)
+        missing_pages = set()
+        for s, e in missing:
+            missing_pages.update(range(s, e))
+        present_pages = set(range(start, stop)) & model
+        assert missing_pages == set(range(start, stop)) - model
+        assert intervals.overlap_size(start, stop) == len(present_pages)
+
+    @given(ops_strategy, ops_strategy)
+    def test_algebra_matches_model(self, left_ops, right_ops):
+        left, left_model = apply_ops(left_ops)
+        right, right_model = apply_ops(right_ops)
+        assert set(left.union(right).pages()) == left_model | right_model
+        assert set(left.intersection(right).pages()) == left_model & right_model
+        assert set(left.difference(right).pages()) == left_model - right_model
+
+    @given(ops_strategy)
+    def test_update_roundtrip(self, ops):
+        intervals, model = apply_ops(ops)
+        other = IntervalSet()
+        other.update(intervals)
+        assert other == intervals
+        other.difference_update(intervals)
+        assert other.page_count == 0

@@ -1,0 +1,147 @@
+"""Metrics tests: percentiles, recorders, throughput windows, tables."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.faas.records import InvocationPath, InvocationResult
+from repro.metrics.collector import LatencyRecorder, ThroughputWindow, TrialMetrics
+from repro.metrics.reporter import format_table, paper_vs_measured
+from repro.metrics.stats import mean, percentile, summarize
+
+
+def make_result(sent, finished, success=True, path=InvocationPath.HOT):
+    return InvocationResult(
+        request_id=0,
+        function_key="k",
+        path=path,
+        success=success,
+        sent_at_ms=sent,
+        finished_at_ms=finished,
+    )
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_percentile_basics(self):
+        data = list(range(1, 101))
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 100
+        assert percentile(data, 50) == pytest.approx(50.5)
+
+    def test_percentile_single_value(self):
+        assert percentile([42.0], 99) == 42.0
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_summarize(self):
+        summary = summarize(float(v) for v in range(1, 101))
+        assert summary.count == 100
+        assert summary.p50 == pytest.approx(50.5)
+        assert summary.p1 < summary.p25 < summary.p50 < summary.p75 < summary.p99
+        assert len(summary.as_row()) == 6
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_subnormal=False), min_size=1, max_size=200))
+    def test_percentiles_monotone_and_bounded(self, values):
+        ordered_ps = [percentile(values, p) for p in (1, 25, 50, 75, 99)]
+        assert ordered_ps == sorted(ordered_ps)
+        tolerance = 1e-9 * max(1.0, max(values))
+        assert min(values) - tolerance <= ordered_ps[0]
+        assert ordered_ps[-1] <= max(values) + tolerance
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_subnormal=False), min_size=1, max_size=200))
+    def test_mean_within_range(self, values):
+        assert min(values) - 1e-6 <= mean(values) <= max(values) + 1e-6
+
+
+class TestRecorder:
+    def test_latency_filtering_by_path_and_success(self):
+        recorder = LatencyRecorder()
+        recorder.add(make_result(0, 10, path=InvocationPath.COLD))
+        recorder.add(make_result(0, 2, path=InvocationPath.HOT))
+        recorder.add(make_result(0, 99, success=False, path=InvocationPath.ERROR))
+        assert recorder.latencies() == [10, 2]
+        assert recorder.latencies(InvocationPath.COLD) == [10]
+        assert len(recorder.failures) == 1
+        assert recorder.path_counts() == {"cold": 1, "hot": 1, "error": 1}
+
+    def test_summary(self):
+        recorder = LatencyRecorder()
+        for latency in (5, 10, 15):
+            recorder.add(make_result(0, latency))
+        assert recorder.summary().mean == 10
+
+
+class TestTrialMetrics:
+    def test_throughput_counts_successes_only(self):
+        metrics = TrialMetrics(started_ms=0.0, finished_ms=1000.0)
+        for t in (100, 200, 300):
+            metrics.recorder.add(make_result(0, t))
+        metrics.recorder.add(make_result(0, 400, success=False))
+        assert metrics.throughput_per_s() == pytest.approx(3.0)
+        assert metrics.error_rate == 0.25
+
+    def test_warmup_discard(self):
+        metrics = TrialMetrics(started_ms=0.0, finished_ms=1000.0)
+        metrics.recorder.add(make_result(0, 100))  # inside warmup
+        metrics.recorder.add(make_result(0, 900))
+        assert metrics.throughput_per_s(warmup_fraction=0.5) == pytest.approx(2.0)
+
+    def test_invalid_warmup_fraction(self):
+        metrics = TrialMetrics(started_ms=0.0, finished_ms=1.0)
+        with pytest.raises(ValueError):
+            metrics.throughput_per_s(warmup_fraction=1.0)
+
+    def test_throughput_window(self):
+        window = ThroughputWindow(start_ms=0.0, end_ms=2000.0, completed=50)
+        assert window.per_second == 25.0
+        assert ThroughputWindow(0.0, 0.0, 10).per_second == 0.0
+
+
+class TestReporter:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer", 123456.0]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "123,456" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_paper_vs_measured_ratio(self):
+        text = paper_vs_measured([["latency", 7.5, 7.5]])
+        assert "1.00x" in text
+
+    def test_paper_vs_measured_non_numeric(self):
+        text = paper_vs_measured([["thing", "-", 3.0]])
+        assert "-" in text
+
+
+class TestNumpyCrossCheck:
+    """Our percentile convention must match numpy's default."""
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_subnormal=False),
+            min_size=1,
+            max_size=100,
+        ),
+        st.sampled_from([1.0, 25.0, 50.0, 75.0, 99.0]),
+    )
+    def test_matches_numpy_linear_interpolation(self, values, p):
+        numpy = pytest.importorskip("numpy")
+        ours = percentile(values, p)
+        theirs = float(numpy.percentile(values, p))
+        assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-9)

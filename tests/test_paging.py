@@ -1,0 +1,41 @@
+"""Paging-structure accounting tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.paging import PAGE_TABLE_ROOT_PAGES, PTES_PER_PAGE, page_table_pages_for
+
+
+def test_empty_mapping_needs_roots_only():
+    assert page_table_pages_for(0) == PAGE_TABLE_ROOT_PAGES
+
+
+def test_one_page_needs_one_leaf():
+    assert page_table_pages_for(1) == PAGE_TABLE_ROOT_PAGES + 1
+
+
+def test_exact_leaf_boundary():
+    assert page_table_pages_for(PTES_PER_PAGE) == PAGE_TABLE_ROOT_PAGES + 1
+    assert page_table_pages_for(PTES_PER_PAGE + 1) == PAGE_TABLE_ROOT_PAGES + 2
+
+
+def test_nodejs_base_image_overhead():
+    # 114.5 MB mapped => 61 pages of paging structures (~0.24 MB).
+    assert page_table_pages_for(29_312) == 61
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        page_table_pages_for(-1)
+
+
+@given(st.integers(min_value=1, max_value=10**7))
+def test_overhead_is_small_and_monotone(mapped):
+    overhead = page_table_pages_for(mapped)
+    assert overhead >= PAGE_TABLE_ROOT_PAGES + 1
+    # Under ~0.3% of the mapped size plus the fixed roots.
+    assert overhead <= PAGE_TABLE_ROOT_PAGES + mapped // PTES_PER_PAGE + 1
+    assert page_table_pages_for(mapped + 1) >= overhead

@@ -1,0 +1,144 @@
+"""Property tests on memory-substrate conservation invariants.
+
+Hypothesis drives random lifecycles over address spaces and snapshots
+and checks the conservation law the whole reproduction rests on: frames
+allocated == frames attributable to live objects, and zero after full
+teardown.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.address_space import AddressSpace
+from repro.mem.frames import FrameAllocator
+from repro.mem.paging import page_table_pages_for
+from repro.sim import Environment
+
+#: A lifecycle script: per space, a list of (op, page, count) actions.
+action = st.tuples(
+    st.sampled_from(["write", "capture"]),
+    st.integers(min_value=0, max_value=5_000),
+    st.integers(min_value=1, max_value=400),
+)
+script = st.lists(st.lists(action, max_size=8), min_size=1, max_size=6)
+
+
+class TestFrameConservation:
+    @given(script)
+    @settings(max_examples=60, deadline=None)
+    def test_allocated_equals_attributable(self, scripts):
+        allocator = FrameAllocator(10_000_000)
+        spaces = []
+        snapshots = []
+        for space_script in scripts:
+            # Chain: every other space deploys from the latest snapshot.
+            base = snapshots[-1] if snapshots and len(spaces) % 2 else None
+            space = AddressSpace(allocator, base=base)
+            spaces.append(space)
+            for op, page, count in space_script:
+                if op == "write":
+                    space.write(page, count)
+                else:
+                    snapshots.append(space.capture_snapshot(f"s{len(snapshots)}"))
+
+        attributable = sum(s.resident_pages for s in spaces) + sum(
+            s.footprint_pages for s in snapshots if not s.deleted
+        )
+        assert allocator.allocated_pages == attributable
+
+    @given(script)
+    @settings(max_examples=60, deadline=None)
+    def test_full_teardown_frees_everything(self, scripts):
+        allocator = FrameAllocator(10_000_000)
+        spaces = []
+        snapshots = []
+        for space_script in scripts:
+            base = snapshots[-1] if snapshots and len(spaces) % 2 else None
+            space = AddressSpace(allocator, base=base)
+            spaces.append(space)
+            for op, page, count in space_script:
+                if op == "write":
+                    space.write(page, count)
+                else:
+                    snapshots.append(space.capture_snapshot(f"s{len(snapshots)}"))
+        for space in spaces:
+            space.destroy()
+        # Delete snapshots children-first (reverse creation order works
+        # because parents always precede children).
+        for snapshot in reversed(snapshots):
+            snapshot.delete()
+        assert allocator.allocated_pages == 0
+
+    @given(
+        st.integers(min_value=1, max_value=30_000),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_n_deploys_cost_only_page_tables(self, image_pages, deploys):
+        allocator = FrameAllocator(50_000_000)
+        builder = AddressSpace(allocator)
+        builder.write(0, image_pages)
+        base = builder.capture_snapshot("base")
+        before = allocator.allocated_pages
+        spaces = [AddressSpace(allocator, base=base) for _ in range(deploys)]
+        per_deploy = page_table_pages_for(base.stack_page_count())
+        assert allocator.allocated_pages - before == deploys * per_deploy
+        for space in spaces:
+            space.destroy()
+        assert allocator.allocated_pages == before
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_clock_visits_all_timeout_instants(self, delays):
+        env = Environment()
+        seen = []
+
+        def proc(delay):
+            yield env.timeout(delay)
+            seen.append(env.now)
+
+        for delay in delays:
+            env.process(proc(delay))
+        env.run()
+        assert sorted(seen) == sorted(delays)
+        assert env.now == max(delays)
+        assert env.events_processed >= len(delays)
+
+    @given(st.integers(min_value=1, max_value=20))
+    def test_resource_never_over_grants(self, capacity):
+        from repro.sim import Resource
+
+        env = Environment()
+        resource = Resource(env, capacity=capacity)
+        peak = {"value": 0}
+
+        def worker():
+            request = resource.request()
+            yield request
+            try:
+                peak["value"] = max(peak["value"], resource.count)
+                yield env.timeout(1.0)
+            finally:
+                resource.release(request)
+
+        for _ in range(capacity * 3):
+            env.process(worker())
+        env.run()
+        assert peak["value"] <= capacity
+
+    def test_run_limit_guards_unbounded_simulations(self):
+        from repro.sim import SimulationError
+        import pytest
+
+        env = Environment()
+
+        def forever():
+            while True:
+                yield env.timeout(1.0)
+
+        env.process(forever())
+        with pytest.raises(SimulationError, match="event limit"):
+            env.run(limit=1000)
+        assert env.events_processed <= 1001

@@ -1,0 +1,81 @@
+"""Public-API surface tests: the import contract docs/api.md promises."""
+
+from __future__ import annotations
+
+import pytest
+
+
+def test_top_level_exports():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_lazy_faas_cluster():
+    import repro
+
+    cluster_cls = repro.FaasCluster
+    from repro.faas.cluster import FaasCluster
+
+    assert cluster_cls is FaasCluster
+
+
+def test_unknown_attribute_raises():
+    import repro
+
+    with pytest.raises(AttributeError):
+        repro.does_not_exist
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_quickstart_snippet_from_readme():
+    """The README quickstart must work verbatim."""
+    from repro import Environment, SeussNode, nop_function
+
+    env = Environment()
+    node = SeussNode(env)
+    node.initialize_sync()
+
+    fn = nop_function()
+    cold = node.invoke_sync(fn)
+    hot = node.invoke_sync(fn)
+    node.uc_cache.drop_function(fn.key)
+    warm = node.invoke_sync(fn)
+    assert cold.latency_ms == pytest.approx(7.5, abs=0.05)
+    assert hot.latency_ms == pytest.approx(0.8, abs=0.02)
+    assert warm.latency_ms == pytest.approx(3.5, abs=0.05)
+
+
+def test_subpackage_imports_are_side_effect_free():
+    """Importing any subpackage must not require the others' state."""
+    import importlib
+
+    for module in (
+        "repro.sim",
+        "repro.mem",
+        "repro.unikernel",
+        "repro.seuss",
+        "repro.linuxnode",
+        "repro.net",
+        "repro.faas",
+        "repro.workload",
+        "repro.metrics",
+        "repro.distributed",
+        "repro.experiments",
+    ):
+        importlib.import_module(module)
+
+
+def test_py_typed_marker_shipped():
+    import pathlib
+
+    import repro
+
+    package_dir = pathlib.Path(repro.__file__).parent
+    assert (package_dir / "py.typed").exists()

@@ -1,0 +1,118 @@
+"""Quota/throttling tests and container-pausing semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faas.cluster import FaasCluster
+from repro.faas.quotas import (
+    DISABLED,
+    MINUTE_MS,
+    OPENWHISK_DEFAULTS,
+    QuotaConfig,
+    QuotaEnforcer,
+)
+from repro.sim import Environment
+from repro.workload.functions import io_bound_function, nop_function
+
+
+class TestQuotaEnforcer:
+    def test_disabled_admits_everything(self):
+        enforcer = QuotaEnforcer(DISABLED)
+        for index in range(10_000):
+            admitted, _ = enforcer.try_admit("ns", float(index))
+            assert admitted
+        enforcer.release("ns")  # no-op when disabled
+
+    def test_rate_limit_sliding_window(self):
+        enforcer = QuotaEnforcer(QuotaConfig(invocations_per_minute=3))
+        for _ in range(3):
+            assert enforcer.try_admit("ns", 0.0)[0]
+        admitted, reason = enforcer.try_admit("ns", 1000.0)
+        assert not admitted
+        assert "per minute" in reason
+        # A minute later the window has slid past the old entries.
+        assert enforcer.try_admit("ns", MINUTE_MS + 1.0)[0]
+
+    def test_concurrency_limit(self):
+        enforcer = QuotaEnforcer(QuotaConfig(concurrent_invocations=2))
+        assert enforcer.try_admit("ns", 0.0)[0]
+        assert enforcer.try_admit("ns", 0.0)[0]
+        admitted, reason = enforcer.try_admit("ns", 0.0)
+        assert not admitted and "concurrent" in reason
+        enforcer.release("ns")
+        assert enforcer.try_admit("ns", 0.0)[0]
+
+    def test_namespaces_are_independent(self):
+        enforcer = QuotaEnforcer(QuotaConfig(concurrent_invocations=1))
+        assert enforcer.try_admit("alice", 0.0)[0]
+        assert enforcer.try_admit("bob", 0.0)[0]
+        assert not enforcer.try_admit("alice", 0.0)[0]
+
+    def test_release_underflow_rejected(self):
+        enforcer = QuotaEnforcer(QuotaConfig(concurrent_invocations=1))
+        with pytest.raises(ConfigError):
+            enforcer.release("ns")
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            QuotaConfig(invocations_per_minute=0)
+
+    def test_stats(self):
+        enforcer = QuotaEnforcer(QuotaConfig(concurrent_invocations=1))
+        enforcer.try_admit("ns", 0.0)
+        enforcer.try_admit("ns", 0.0)
+        assert enforcer.stats.admitted == 1
+        assert enforcer.stats.concurrency_rejections == 1
+
+
+class TestControllerThrottling:
+    def test_paper_config_never_throttles(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(env)
+        procs = [cluster.invoke(nop_function(owner="heavy")) for _ in range(64)]
+        env.run(until=env.all_of(procs))
+        assert cluster.controller.stats.throttled == 0
+        assert all(p.value.success for p in procs)
+
+    def test_concurrency_quota_rejects_excess(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(env)
+        cluster.controller.quotas = QuotaEnforcer(
+            QuotaConfig(concurrent_invocations=4)
+        )
+        fn = io_bound_function("blocked", block_ms=500.0)
+        procs = [cluster.invoke(fn) for _ in range(10)]
+        env.run(until=env.all_of(procs))
+        results = [p.value for p in procs]
+        throttled = [r for r in results if not r.success]
+        assert len(throttled) == 6
+        assert all("throttled" in r.error for r in throttled)
+        assert cluster.controller.stats.throttled == 6
+        # Admitted slots were released; a later request sails through.
+        late = cluster.invoke_sync(nop_function(owner="background"))
+        assert late.success
+
+    def test_openwhisk_defaults_shape(self):
+        assert OPENWHISK_DEFAULTS.enabled
+        assert not DISABLED.enabled
+
+
+class TestContainerPausing:
+    def test_pausing_taxes_the_hot_path(self):
+        from repro.linuxnode.config import LinuxNodeConfig
+        from repro.linuxnode.node import LinuxNode
+
+        fn = nop_function()
+        results = {}
+        for paused in (False, True):
+            env = Environment()
+            node = LinuxNode(
+                env, config=LinuxNodeConfig(pause_containers=paused)
+            )
+            env.run(until=node.invoke(fn))
+            results[paused] = env.run(until=node.invoke(fn))
+        assert results[False].latency_ms == pytest.approx(2.0, abs=0.1)
+        assert results[True].latency_ms == pytest.approx(27.0, abs=0.5)
+        assert "unpause" in results[True].breakdown

@@ -1,0 +1,151 @@
+"""CLI and extension-experiment tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.extensions import (
+    run_ablations,
+    run_distributed,
+    run_ksm_contrast,
+)
+from repro.experiments.runner import main
+
+
+class TestCli:
+    def test_quick_single_experiment(self, capsys):
+        assert main(["table2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "network+interpreter" in out
+        assert "completed in" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["table1", "table2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "table2" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_plot_flag_renders_burst_figures(self, capsys):
+        assert main(["figure6", "--quick", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "[log scale]" in out
+        assert "— linux" in out and "— seuss" in out
+
+    def test_extensions_quick(self, capsys):
+        assert main(["ablations", "distributed", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot stacks" in out
+        assert "remote-warm" in out
+
+
+class TestExtensionHarnesses:
+    def test_ablations_shape(self):
+        result = run_ablations()
+        choices = [row[0] for row in result.rows]
+        assert "snapshot stacks" in choices
+        assert "idle-UC cache" in choices
+        assert "single-TCP shim" in choices
+        stacks_row = next(r for r in result.rows if r[0] == "snapshot stacks")
+        assert stacks_row[2] > 40 * stacks_row[3]  # with >> without
+
+    def test_distributed_shape(self):
+        result = run_distributed()
+        assert len(result.rows) == 3
+        for row in result.rows:
+            cold_ms, remote_ms = row[1], row[2]
+            assert remote_ms < cold_ms
+
+    def test_ksm_contrast_shape(self):
+        result = run_ksm_contrast(containers=40)
+        rows = {row[0]: row for row in result.rows}
+        gain_row = rows["density gain over unshared"]
+        # KSM helps, but snapshot sharing is an order of magnitude denser.
+        ksm_gain = float(gain_row[1].rstrip("x"))
+        seuss_gain = float(gain_row[2].rstrip("x"))
+        assert 1.5 < ksm_gain < 4.0
+        assert seuss_gain > 10 * ksm_gain
+
+
+class TestOvercommit:
+    def test_idle_ucs_overcommit_memory(self, seuss_node):
+        from repro.workload.functions import nop_function
+
+        for index in range(50):
+            seuss_node.invoke_sync(nop_function(owner=f"oc-{index}"))
+        ratio = seuss_node.overcommit_ratio()
+        # Each idle UC maps ~116 MB while holding ~2.6 MB privately.
+        assert ratio > 30
+
+    def test_fresh_node_not_overcommitted(self, seuss_node):
+        assert seuss_node.overcommit_ratio() == 1.0
+
+
+class TestSensitivity:
+    def test_scaled_costbook(self):
+        from repro.costs import DEFAULT_COSTS
+        from repro.experiments.sensitivity import scaled_costbook
+
+        book = scaled_costbook("seuss.uc_create_ms", 2.0)
+        assert book.seuss.uc_create_ms == DEFAULT_COSTS.seuss.uc_create_ms * 2
+        # Everything else untouched.
+        assert book.seuss.tcp_connect_ms == DEFAULT_COSTS.seuss.tcp_connect_ms
+        assert book.linux == DEFAULT_COSTS.linux
+
+    def test_invalid_paths_rejected(self):
+        import pytest
+
+        from repro.errors import ConfigError
+        from repro.experiments.sensitivity import scaled_costbook
+
+        with pytest.raises(ConfigError):
+            scaled_costbook("nonsense", 2.0)
+        with pytest.raises(ConfigError):
+            scaled_costbook("seuss.warp_factor", 2.0)
+        with pytest.raises(ConfigError):
+            scaled_costbook("seuss.uc_create_ms", 0.0)
+
+    def test_plateau_tracks_shim_not_import(self):
+        from repro.experiments.sensitivity import (
+            seuss_cold_ms,
+            seuss_plateau_rps,
+            sweep,
+        )
+
+        shim = sweep("platform.shim_service_ms", seuss_plateau_rps, (1.0, 2.0))
+        assert shim[2.0] < shim[1.0] * 0.6  # halving rate with doubled service
+        cold = sweep("seuss.import_compile_base_ms", seuss_cold_ms, (1.0, 2.0))
+        assert cold[2.0] > cold[1.0] + 3.5  # cold start pays import directly
+        plateau = sweep(
+            "seuss.import_compile_base_ms", seuss_plateau_rps, (1.0, 2.0)
+        )
+        # ...but the throughput plateau barely notices (shim-bound).
+        assert plateau[2.0] > plateau[1.0] * 0.95
+
+
+class TestExperimentsPackageApi:
+    def test_all_run_functions_importable(self):
+        import repro.experiments as experiments
+
+        for name in experiments.__all__:
+            assert getattr(experiments, name) is not None, name
+
+    def test_unknown_attribute_raises(self):
+        import pytest
+
+        import repro.experiments as experiments
+
+        with pytest.raises(AttributeError):
+            experiments.run_table99
+
+    def test_codesize_shape(self):
+        from repro.experiments import run_codesize
+
+        result = run_codesize(code_sizes_kb=(0.1, 100.0))
+        small, big = result.rows
+        assert big[1] > small[1] * 1.5  # cold grows with code size
+        assert big[3] == small[3]  # hot does not
+        assert big[4] >= small[4]  # cold/warm advantage grows

@@ -1,0 +1,60 @@
+"""Shim-process tests: the single-connection serialization bottleneck."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs import PlatformCostModel
+from repro.seuss.shim import ShimProcess
+from repro.sim import Environment
+
+
+@pytest.fixture
+def shim(env):
+    return ShimProcess(env, PlatformCostModel())
+
+
+def test_single_request_takes_rtt(env, shim):
+    def client():
+        yield from shim.forward()
+        return env.now
+
+    assert env.run(until=env.process(client())) == pytest.approx(8.0)
+
+
+def test_requests_serialize_on_the_connection(env, shim):
+    finish_times = []
+
+    def client():
+        yield from shim.forward()
+        finish_times.append(env.now)
+
+    for _ in range(3):
+        env.process(client())
+    env.run()
+    # Service times stack (7.78 each); propagation overlaps.
+    assert finish_times == pytest.approx([8.0, 15.78, 23.56], abs=0.01)
+
+
+def test_max_rate_is_128_6_per_s(shim):
+    assert shim.max_rate_per_s == pytest.approx(128.6, abs=0.1)
+
+
+def test_sustained_rate_matches_cap(env, shim):
+    def client():
+        yield from shim.forward()
+
+    count = 500
+    procs = [env.process(client()) for _ in range(count)]
+    env.run(until=env.all_of(procs))
+    rate = count / (env.now / 1000.0)
+    assert rate == pytest.approx(shim.max_rate_per_s, rel=0.01)
+
+
+def test_stats(env, shim):
+    def client():
+        yield from shim.forward()
+
+    env.run(until=env.process(client()))
+    assert shim.stats.forwarded == 1
+    assert shim.stats.busy_ms == pytest.approx(7.78)

@@ -1,0 +1,114 @@
+"""Stateful property tests: a SEUSS node under adversarial workloads.
+
+Hypothesis drives random sequences of invocations, idle-UC drops,
+snapshot evictions, and OOM reclaims against one node, checking after
+every step that (a) the path taken is exactly the one the cache state
+implied, (b) the node's internal invariants hold (via the auditor), and
+(c) memory never leaks across teardown.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.faas.records import InvocationPath
+from repro.seuss.audit import audit_node
+from repro.seuss.config import SeussConfig
+from repro.seuss.node import SeussNode
+from repro.sim import Environment
+from repro.workload.functions import nop_function
+
+#: A small pool of function identities the machine plays with.
+FN_INDICES = st.integers(min_value=0, max_value=5)
+
+
+class SeussNodeMachine(RuleBasedStateMachine):
+    @initialize()
+    def build_node(self):
+        self.node = SeussNode(
+            Environment(),
+            SeussConfig(
+                memory_gb=2.0,
+                system_reserved_mb=64.0,
+                snapshot_cache_budget_mb=512.0,
+                oom_threshold_mb=16.0,
+            ),
+        )
+        self.node.initialize_sync()
+        self.functions = [nop_function(owner=f"sm-{i}") for i in range(6)]
+
+    # -- state predictions -------------------------------------------------
+    def _expected_path(self, fn) -> InvocationPath:
+        if self.node.uc_cache.function_count(fn.key) > 0:
+            return InvocationPath.HOT
+        if fn.key in self.node.snapshot_cache:
+            return InvocationPath.WARM
+        return InvocationPath.COLD
+
+    # -- rules ------------------------------------------------------------
+    @rule(index=FN_INDICES)
+    def invoke(self, index):
+        fn = self.functions[index]
+        expected = self._expected_path(fn)
+        result = self.node.invoke_sync(fn)
+        assert result.success, result.error
+        assert result.path is expected, (result.path, expected)
+
+    @rule(index=FN_INDICES)
+    def drop_idle(self, index):
+        fn = self.functions[index]
+        self.node.uc_cache.drop_function(fn.key)
+        assert self.node.uc_cache.function_count(fn.key) == 0
+
+    @rule(index=FN_INDICES)
+    def evict_snapshot(self, index):
+        fn = self.functions[index]
+        self.node.snapshot_cache.evict_key(fn.key)
+
+    @rule(pages=st.integers(min_value=1, max_value=2000))
+    def pressure_reclaim(self, pages):
+        self.node.uc_cache.reclaim_pages(pages)
+
+    # -- invariants ------------------------------------------------------
+    @invariant()
+    def node_is_consistent(self):
+        if hasattr(self, "node"):
+            assert audit_node(self.node) == []
+
+    @invariant()
+    def memory_is_bounded(self):
+        if hasattr(self, "node"):
+            assert self.node.allocator.free_pages >= 0
+
+    def teardown(self):
+        if not hasattr(self, "node"):
+            return
+        # Full teardown must return every non-system, non-runtime page.
+        self.node.uc_cache.clear()
+        self.node.snapshot_cache.clear()
+        stats = self.node.allocator.stats()
+        leftovers = {
+            category: pages
+            for category, pages in stats.by_category.items()
+            if category not in ("system", "snapshot")
+        }
+        assert leftovers == {}, f"leaked frames: {leftovers}"
+        # Remaining snapshot pages are exactly the runtime snapshots.
+        runtime_pages = sum(
+            record.snapshot.footprint_pages
+            for record in self.node.runtime_records.values()
+        )
+        assert stats.by_category.get("snapshot", 0) == runtime_pages
+
+
+TestSeussNodeStateful = SeussNodeMachine.TestCase
+TestSeussNodeStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,102 @@
+"""Stateful property tests for the Linux node's container accounting."""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.linuxnode.config import LinuxNodeConfig
+from repro.linuxnode.instances import InstanceKind
+from repro.linuxnode.node import LinuxNode
+from repro.sim import Environment
+from repro.workload.functions import nop_function
+
+FN_INDICES = st.integers(min_value=0, max_value=4)
+
+
+class LinuxNodeMachine(RuleBasedStateMachine):
+    @initialize()
+    def build_node(self):
+        self.env = Environment()
+        self.node = LinuxNode(
+            self.env,
+            config=LinuxNodeConfig(
+                container_cache_limit=12,
+                stemcell_pool_size=4,
+                seed=17,
+            ),
+        )
+        self.node.start_stemcell_pool()
+        self.functions = [nop_function(owner=f"lsm-{i}") for i in range(5)]
+
+    @rule(index=FN_INDICES)
+    def invoke(self, index):
+        result = self.env.run(until=self.node.invoke(self.functions[index]))
+        # Either it worked or it was a bridge-failure error; both legal.
+        assert result.path is not None
+
+    @rule(count=st.integers(min_value=1, max_value=3))
+    def repeated_invokes(self, count):
+        procs = [
+            self.env.run(until=self.node.invoke(self.functions[i % 5]))
+            for i in range(count)
+        ]
+        assert len(procs) == count
+
+    @rule()
+    def let_time_pass(self):
+        self.env.run(until=self.env.now + 500.0)
+
+    # -- invariants ------------------------------------------------------
+    @invariant()
+    def container_accounting_balances(self):
+        if not hasattr(self, "node"):
+            return
+        node = self.node
+        # The counters must agree with the structures they summarize.
+        idle_total = sum(len(bucket) for bucket in node._idle.values())
+        assert node._idle_count == idle_total
+        assert node._busy_count >= 0
+        assert node._creating_count >= 0
+
+    @invariant()
+    def cache_limit_respected(self):
+        if not hasattr(self, "node"):
+            return
+        assert self.node.total_containers <= self.node.config.container_cache_limit
+
+    @invariant()
+    def memory_matches_containers(self):
+        if not hasattr(self, "node"):
+            return
+        node = self.node
+        per_container = InstanceKind.CONTAINER.footprint_pages(node.costs.linux)
+        held = node.allocator.category_pages(InstanceKind.CONTAINER.value)
+        # Busy + idle + stemcells hold memory; in-flight creations have
+        # not allocated yet.
+        materialized = (
+            node._idle_count + node._busy_count + len(node.stemcells)
+        )
+        assert held == materialized * per_container
+
+    @invariant()
+    def bridge_endpoints_match_materialized(self):
+        if not hasattr(self, "node"):
+            return
+        node = self.node
+        materialized = (
+            node._idle_count + node._busy_count + len(node.stemcells)
+        )
+        assert node.bridge.endpoints == materialized
+
+
+TestLinuxNodeStateful = LinuxNodeMachine.TestCase
+TestLinuxNodeStateful.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)

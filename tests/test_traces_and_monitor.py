@@ -1,0 +1,176 @@
+"""Trace-workload and monitor tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faas.cluster import FaasCluster
+from repro.metrics.monitor import Monitor
+from repro.metrics.stats import mean
+from repro.sim import Environment
+from repro.workload.functions import unique_nop_set
+from repro.workload.traces import (
+    ModulatedArrivals,
+    PoissonArrivals,
+    ZipfPopularity,
+    replay_trace,
+    synthesize_trace,
+)
+
+
+class TestArrivals:
+    def test_poisson_mean_gap(self):
+        arrivals = PoissonArrivals(rate_per_s=100.0, seed=42)
+        times = arrivals.arrival_times(5000)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert mean(gaps) == pytest.approx(10.0, rel=0.1)  # 100/s => 10 ms
+
+    def test_poisson_deterministic_per_seed(self):
+        first = PoissonArrivals(50.0, seed=7).arrival_times(100)
+        second = PoissonArrivals(50.0, seed=7).arrival_times(100)
+        assert first == second
+
+    def test_arrival_times_monotone(self):
+        times = PoissonArrivals(10.0, seed=1).arrival_times(200)
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_modulated_peak_density(self):
+        arrivals = ModulatedArrivals(
+            base_rate_per_s=10.0,
+            peak_rate_per_s=200.0,
+            period_ms=10_000.0,
+            peak_fraction=0.2,
+            seed=3,
+        )
+        times = arrivals.arrival_times(4000)
+        in_peak = sum(1 for t in times if (t % 10_000.0) / 10_000.0 < 0.2)
+        # The peak window carries most of the traffic.
+        assert in_peak / len(times) > 0.6
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            PoissonArrivals(0.0)
+        with pytest.raises(ConfigError):
+            ModulatedArrivals(1.0, 2.0, 100.0, peak_fraction=1.5)
+        with pytest.raises(ConfigError):
+            PoissonArrivals(1.0).arrival_times(-1)
+
+
+class TestZipf:
+    def test_head_dominates(self):
+        popularity = ZipfPopularity(function_count=1000, exponent=1.1)
+        assert popularity.head_share(10) > 0.35
+
+    def test_samples_follow_weights(self):
+        popularity = ZipfPopularity(function_count=50, exponent=1.2, seed=5)
+        indices = popularity.sample_indices(20_000)
+        top = sum(1 for i in indices if i == 0) / len(indices)
+        assert top == pytest.approx(popularity.weights()[0] / sum(popularity.weights()), rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ZipfPopularity(function_count=0)
+        with pytest.raises(ConfigError):
+            ZipfPopularity(function_count=5, exponent=0)
+
+
+class TestTraceReplay:
+    def test_synthesize_and_replay(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(env)
+        functions = unique_nop_set(16)
+        trace = synthesize_trace(
+            functions,
+            PoissonArrivals(rate_per_s=50.0, seed=9),
+            ZipfPopularity(function_count=16, exponent=1.1, seed=9),
+            count=300,
+        )
+        assert len(trace) == 300
+        results = replay_trace(cluster, trace)
+        assert len(results) == 300
+        assert all(r.success for r in results)
+        # Zipf skew: the most popular function dominates and runs hot.
+        hot = sum(1 for r in results if r.path.value == "hot")
+        assert hot > 200
+
+    def test_function_count_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            synthesize_trace(
+                unique_nop_set(4),
+                PoissonArrivals(10.0),
+                ZipfPopularity(function_count=5),
+                count=10,
+            )
+
+    def test_open_loop_concurrency_exceeds_closed_loop(self):
+        """A trace replay can have unbounded in-flight requests."""
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(env)
+        functions = unique_nop_set(4)
+        # 64 requests all at t=0: open loop fires them simultaneously.
+        trace = synthesize_trace(
+            functions,
+            PoissonArrivals(rate_per_s=1e6, seed=1),
+            ZipfPopularity(function_count=4, seed=1),
+            count=64,
+        )
+        results = replay_trace(cluster, trace)
+        assert len(results) == 64
+
+
+class TestMonitor:
+    def test_sampling_interval(self, env):
+        counter = {"n": 0}
+
+        def probe():
+            counter["n"] += 1
+            return counter["n"]
+
+        monitor = Monitor(env, probe, interval_ms=100.0).start()
+        env.run(until=1000.0)
+        monitor.stop()
+        assert 10 <= len(monitor) <= 11
+        assert monitor.values()[0] == 1
+
+    def test_series_queries(self, env):
+        values = iter([5.0, 10.0, 3.0])
+        monitor = Monitor(env, lambda: next(values), interval_ms=10.0).start()
+        env.run(until=25.0)
+        monitor.stop()
+        env.run()
+        assert monitor.max() == 10.0
+        assert monitor.min() == 3.0
+        assert monitor.value_at(15.0) == 10.0
+        assert monitor.first_time_reaching(10.0) == 10.0
+        assert monitor.first_time_reaching(99.0) is None
+
+    def test_monitor_on_live_node(self, seuss_node):
+        from repro.workload.functions import cpu_bound_function
+
+        env = seuss_node.env
+        monitor = Monitor(
+            env,
+            lambda: len(seuss_node.uc_cache),
+            interval_ms=50.0,
+            name="idle-ucs",
+        ).start()
+        procs = [
+            seuss_node.invoke(cpu_bound_function(f"m{i}", exec_ms=20.0))
+            for i in range(8)
+        ]
+        env.run(until=env.all_of(procs))
+        env.run(until=env.now + 100.0)  # let one more sample land
+        monitor.stop()
+        env.run()
+        assert monitor.max() >= 1  # idle UCs appeared as work completed
+
+    def test_invalid_interval(self, env):
+        with pytest.raises(ValueError):
+            Monitor(env, lambda: 0.0, interval_ms=0)
+
+    def test_empty_series_rejects_extrema(self, env):
+        monitor = Monitor(env, lambda: 1.0)
+        with pytest.raises(ValueError):
+            monitor.max()

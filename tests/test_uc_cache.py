@@ -1,0 +1,126 @@
+"""IdleUCCache tests: hot-path reuse and OOM reclamation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.frames import FrameAllocator
+from repro.seuss.uc_cache import IdleUCCache
+from repro.unikernel.context import UCState, UnikernelContext
+from repro.unikernel.interpreters import NODEJS
+
+
+@pytest.fixture
+def alloc():
+    return FrameAllocator(10_000_000)
+
+
+@pytest.fixture
+def base(alloc):
+    uc = UnikernelContext(alloc, NODEJS)
+    uc.boot()
+    snapshot = uc.capture_snapshot("base")
+    snapshot.retain()
+    uc.destroy()
+    return snapshot
+
+
+def idle_uc(alloc, base, fn="fn"):
+    uc = UnikernelContext(alloc, NODEJS, base=base)
+    uc.start_listening()
+    uc.accept_connection()
+    uc.import_function(fn, 0.1)
+    return uc
+
+
+class TestHotPath:
+    def test_put_pop_roundtrip(self, alloc, base):
+        cache = IdleUCCache()
+        uc = idle_uc(alloc, base)
+        assert cache.put("fn", uc)
+        assert cache.pop("fn") is uc
+        assert cache.pop("fn") is None
+        assert cache.stats.hot_hits == 1
+
+    def test_put_requires_idle_state(self, alloc, base):
+        cache = IdleUCCache()
+        uc = UnikernelContext(alloc, NODEJS, base=base)  # CREATED, not IDLE
+        with pytest.raises(ValueError):
+            cache.put("fn", uc)
+
+    def test_per_function_limit(self, alloc, base):
+        cache = IdleUCCache(per_function_limit=2)
+        assert cache.put("fn", idle_uc(alloc, base))
+        assert cache.put("fn", idle_uc(alloc, base))
+        assert not cache.put("fn", idle_uc(alloc, base))
+        assert len(cache) == 2
+
+    def test_fifo_within_function(self, alloc, base):
+        cache = IdleUCCache()
+        first = idle_uc(alloc, base)
+        second = idle_uc(alloc, base)
+        cache.put("fn", first)
+        cache.put("fn", second)
+        assert cache.pop("fn") is first
+
+    def test_function_count(self, alloc, base):
+        cache = IdleUCCache()
+        cache.put("a", idle_uc(alloc, base, "a"))
+        cache.put("a", idle_uc(alloc, base, "a"))
+        assert cache.function_count("a") == 2
+        assert cache.function_count("b") == 0
+
+
+class TestReclamation:
+    def test_reclaim_destroys_lru_first(self, alloc, base):
+        cache = IdleUCCache()
+        old = idle_uc(alloc, base, "old")
+        new = idle_uc(alloc, base, "new")
+        cache.put("old", old)
+        cache.put("new", new)
+        freed = cache.reclaim_pages(1)
+        assert freed > 0
+        assert old.destroyed
+        assert not new.destroyed
+        assert cache.stats.reclaimed == 1
+
+    def test_reclaim_until_enough(self, alloc, base):
+        cache = IdleUCCache()
+        ucs = [idle_uc(alloc, base, f"fn{i}") for i in range(5)]
+        for index, uc in enumerate(ucs):
+            cache.put(f"fn{index}", uc)
+        per_uc = ucs[0].space.resident_pages
+        cache.reclaim_pages(3 * per_uc)
+        destroyed = sum(1 for uc in ucs if uc.destroyed)
+        assert destroyed == 3
+        assert len(cache) == 2
+
+    def test_reclaim_empty_cache_returns_zero(self):
+        assert IdleUCCache().reclaim_pages(100) == 0
+
+    def test_drop_function(self, alloc, base):
+        cache = IdleUCCache()
+        kept = idle_uc(alloc, base, "keep")
+        dropped = [idle_uc(alloc, base, "drop") for _ in range(3)]
+        cache.put("keep", kept)
+        for uc in dropped:
+            cache.put("drop", uc)
+        assert cache.drop_function("drop") == 3
+        assert all(uc.destroyed for uc in dropped)
+        assert not kept.destroyed
+        assert cache.drop_function("absent") == 0
+
+    def test_clear(self, alloc, base):
+        cache = IdleUCCache()
+        cache.put("a", idle_uc(alloc, base, "a"))
+        cache.put("b", idle_uc(alloc, base, "b"))
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_drop_releases_snapshot_reference(self, alloc, base):
+        cache = IdleUCCache()
+        refs_before = base.refcount
+        cache.put("fn", idle_uc(alloc, base))
+        assert base.refcount == refs_before + 1
+        cache.drop_function("fn")
+        assert base.refcount == refs_before

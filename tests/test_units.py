@@ -1,0 +1,39 @@
+"""Unit-conversion tests."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+def test_page_size_constants():
+    assert units.PAGE_SIZE == 4096
+    assert units.PAGES_PER_MB == 256
+
+
+def test_mb_to_pages_roundtrip():
+    assert units.mb_to_pages(1.0) == 256
+    assert units.pages_to_mb(256) == 1.0
+    assert units.mb_to_pages(109.6) == 28058  # the Node.js base image
+
+
+def test_gb_to_pages():
+    assert units.gb_to_pages(88.0) == 88 * 1024 * 256
+
+
+def test_time_helpers():
+    assert units.seconds(2.5) == 2500.0
+    assert units.minutes(2) == 120_000.0
+    assert units.microseconds(400) == 0.4
+    assert units.ms_to_seconds(1500) == 1.5
+
+
+def test_pages_to_bytes():
+    assert units.pages_to_bytes(2) == 8192
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+def test_pages_mb_roundtrip_property(pages):
+    assert units.mb_to_pages(units.pages_to_mb(pages)) == pages

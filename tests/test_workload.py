@@ -1,0 +1,175 @@
+"""Workload tests: function archetypes, the trial generator, bursts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faas.cluster import FaasCluster
+from repro.sim import Environment
+from repro.workload.burst import BurstConfig, BurstWorkload
+from repro.workload.functions import (
+    cpu_bound_function,
+    io_bound_function,
+    nop_function,
+    unique_nop_set,
+)
+from repro.workload.generator import LoadGenerator, TrialConfig, run_trial
+
+
+class TestFunctions:
+    def test_nop_profile(self):
+        fn = nop_function()
+        assert fn.exec_ms == 0.5
+        assert fn.io_wait_ms == 0.0
+
+    def test_cpu_bound_profile(self):
+        fn = cpu_bound_function("burst-0")
+        assert fn.exec_ms == 150.0
+
+    def test_io_bound_profile(self):
+        fn = io_bound_function("io-0")
+        assert fn.io_wait_ms == 250.0
+
+    def test_unique_set_isolation(self):
+        fns = unique_nop_set(10)
+        assert len({fn.key for fn in fns}) == 10
+        assert len({fn.name for fn in fns}) == 1  # same code, unique clients
+
+    def test_unique_set_validation(self):
+        with pytest.raises(ValueError):
+            unique_nop_set(0)
+
+
+class TestTrialConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TrialConfig(invocation_count=0, workers=1)
+        with pytest.raises(ConfigError):
+            TrialConfig(invocation_count=1, workers=0)
+        with pytest.raises(ConfigError):
+            TrialConfig(invocation_count=1, workers=1, rate_limit_per_s=0)
+
+    def test_send_order_is_deterministic(self):
+        fns = unique_nop_set(16)
+        config = TrialConfig(invocation_count=100, workers=4, seed=7)
+        first = LoadGenerator(fns, config).send_order
+        second = LoadGenerator(fns, config).send_order
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        fns = unique_nop_set(16)
+        a = LoadGenerator(fns, TrialConfig(100, 4, seed=1)).send_order
+        b = LoadGenerator(fns, TrialConfig(100, 4, seed=2)).send_order
+        assert a != b
+
+    def test_empty_function_set_rejected(self):
+        with pytest.raises(ConfigError):
+            LoadGenerator([], TrialConfig(10, 1))
+
+
+class TestTrialRun:
+    def test_all_invocations_complete(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(env)
+        trial = run_trial(cluster, unique_nop_set(4), invocation_count=40, workers=8)
+        assert len(trial.results) == 40
+        assert trial.error_rate == 0.0
+        assert trial.throughput_per_s > 0
+
+    def test_concurrency_never_exceeds_workers(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(env)
+        workers = 4
+        in_flight = {"now": 0, "max": 0}
+        original = cluster.controller.invoke
+
+        def tracked(fn):
+            in_flight["now"] += 1
+            in_flight["max"] = max(in_flight["max"], in_flight["now"])
+            try:
+                result = yield from original(fn)
+            finally:
+                in_flight["now"] -= 1
+            return result
+
+        cluster.controller.invoke = tracked
+        run_trial(cluster, unique_nop_set(4), invocation_count=32, workers=workers)
+        assert in_flight["max"] <= workers
+
+    def test_rate_limit_caps_admission(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(env)
+        trial = run_trial(
+            cluster,
+            unique_nop_set(2),
+            invocation_count=50,
+            workers=16,
+            rate_limit_per_s=20.0,
+        )
+        # 50 requests at 20/s need at least ~2.45 s of admission time.
+        assert trial.metrics.duration_ms >= 2450
+        assert trial.throughput_per_s <= 21.0
+
+
+class TestBurstWorkload:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            BurstConfig(burst_interval_ms=0)
+        with pytest.raises(ConfigError):
+            BurstConfig(burst_interval_ms=1000, burst_count=0)
+        with pytest.raises(ConfigError):
+            BurstConfig(burst_interval_ms=1000, background_rate_per_s=0)
+
+    def test_small_seuss_run_collects_everything(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(env)
+        config = BurstConfig(
+            burst_interval_ms=2000,
+            burst_count=2,
+            burst_size=8,
+            background_workers=8,
+            background_functions=2,
+            background_rate_per_s=20.0,
+            warmup_ms=500.0,
+        )
+        result = BurstWorkload(config).run(cluster)
+        assert len(result.bursts) == 2
+        assert all(len(burst) == 8 for burst in result.bursts)
+        assert result.total_errors == 0
+        assert len(result.background) > 0
+
+    def test_points_are_time_sorted(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(env)
+        config = BurstConfig(
+            burst_interval_ms=1000,
+            burst_count=2,
+            burst_size=4,
+            background_workers=4,
+            background_functions=2,
+            background_rate_per_s=20.0,
+            warmup_ms=200.0,
+        )
+        result = BurstWorkload(config).run(cluster)
+        points = result.points()
+        times = [p[0] for p in points]
+        assert times == sorted(times)
+        kinds = {p[3] for p in points}
+        assert kinds == {"background", "burst"}
+
+    def test_each_burst_uses_unique_function(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(env)
+        config = BurstConfig(
+            burst_interval_ms=1000,
+            burst_count=3,
+            burst_size=4,
+            background_workers=2,
+            background_functions=1,
+            background_rate_per_s=10.0,
+            warmup_ms=100.0,
+        )
+        result = BurstWorkload(config).run(cluster)
+        keys = {burst[0].function_key for burst in result.bursts}
+        assert len(keys) == 3
