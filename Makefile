@@ -1,6 +1,6 @@
 # Development entry points.
 
-.PHONY: install test bench repro repro-quick examples clean
+.PHONY: install test bench chaos repro repro-quick examples clean
 
 install:
 	pip install -e .
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Fault-injection acceptance suite + degradation sweep (fixed seeds).
+chaos:
+	pytest tests/ -m chaos
+	python -m repro.experiments.runner chaos --quick
 
 # Regenerate every paper table/figure (EXPERIMENTS.md's numbers).
 repro:

@@ -29,12 +29,15 @@ from repro.costs import (
     SeussCostModel,
 )
 from repro.errors import (
+    CircuitOpenError,
     ConfigError,
+    FaultInjectionError,
     InvocationError,
     IsolationError,
     NetworkError,
     OutOfMemoryError,
     ReproError,
+    SnapshotCorruptionError,
     SnapshotError,
 )
 from repro.faas.records import (
@@ -59,10 +62,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AOLevel",
+    "CircuitOpenError",
     "ConfigError",
     "CostBook",
     "DEFAULT_COSTS",
     "Environment",
+    "FaultInjectionError",
     "FunctionSpec",
     "InvocationError",
     "InvocationPath",
@@ -79,6 +84,7 @@ __all__ = [
     "SeussConfig",
     "SeussCostModel",
     "SeussNode",
+    "SnapshotCorruptionError",
     "SnapshotError",
     "cpu_bound_function",
     "io_bound_function",
@@ -88,10 +94,23 @@ __all__ = [
 
 
 def __getattr__(name):
-    # FaasCluster pulls in both node packages; load it lazily so that
-    # `import repro` stays cheap and cycle-free.
+    # FaasCluster pulls in both node packages; the resilience surface
+    # pulls in the platform.  Load them lazily so that `import repro`
+    # stays cheap and cycle-free.
     if name == "FaasCluster":
         from repro.faas.cluster import FaasCluster
 
         return FaasCluster
+    if name in ("FaultInjector", "FaultPlan"):
+        import repro.faults as faults
+
+        return getattr(faults, name)
+    if name == "RetryPolicy":
+        from repro.faas.controller import RetryPolicy
+
+        return RetryPolicy
+    if name in ("BreakerPolicy", "BreakerState", "CircuitBreaker"):
+        import repro.faas.health as health
+
+        return getattr(health, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -20,6 +20,29 @@ class SnapshotError(ReproError):
     """Invalid snapshot operation (e.g. deleting a depended-on snapshot)."""
 
 
+class SnapshotCorruptionError(SnapshotError):
+    """A snapshot failed content-checksum validation.
+
+    Raised when a snapshot is loaded for deployment and its stored
+    checksum no longer matches its content (a corrupted capture, a
+    bit-flip at rest, or an injected fault).  The platform's response is
+    quarantine-and-rebuild: the corrupted entry is removed from the
+    snapshot cache and the invocation falls back to the cold path, so a
+    bad snapshot costs exactly one cold start — never an outage.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """The fault-injection subsystem was misconfigured or misused.
+
+    Raised for invalid :class:`~repro.faults.FaultPlan` parameters
+    (probabilities outside [0, 1], negative delays) — never for the
+    injected faults themselves, which surface through the component
+    they disrupt (failed invocations, corrupted snapshots, delayed
+    messages).
+    """
+
+
 class IsolationError(ReproError):
     """A guest attempted an operation outside its protection domain."""
 
@@ -30,6 +53,17 @@ class NetworkError(ReproError):
 
 class InvocationError(ReproError):
     """A function invocation failed platform-side (timeout, overload)."""
+
+
+class CircuitOpenError(InvocationError):
+    """A request was rejected because no routable node's circuit is closed.
+
+    The cluster's per-node circuit breakers open after consecutive
+    failures and reject traffic until a cooldown elapses
+    (closed → open → half-open); while every node is open or draining,
+    the controller fails fast with this error instead of queueing work
+    onto a node that is known to be down.
+    """
 
 
 class ConfigError(ReproError):

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List
 
 from repro.experiments.base import ExperimentResult, registry
 from repro.experiments.bursts import run_figure6, run_figure7, run_figure8
+from repro.experiments.chaos import run_chaos
 from repro.experiments.extensions import (
     run_ablations,
     run_autoao,
@@ -51,6 +52,7 @@ def _full() -> Dict[str, Callable[[], ExperimentResult]]:
         "autoao": lambda: run_autoao(),
         "sensitivity": lambda: run_sensitivity(),
         "codesize": lambda: run_codesize(),
+        "chaos": lambda: run_chaos(),
     }
 
 
@@ -80,6 +82,7 @@ def _quick() -> Dict[str, Callable[[], ExperimentResult]]:
         "autoao": lambda: run_autoao(samples=3),
         "sensitivity": lambda: run_sensitivity(scales=(1.0, 2.0)),
         "codesize": lambda: run_codesize(code_sizes_kb=(0.1, 100.0)),
+        "chaos": lambda: run_chaos(scales=(0.0, 1.0), invocations=300),
     }
 
 

@@ -1,22 +1,37 @@
 """Cluster wiring: the four-machine OpenWhisk testbed in one object.
 
 :class:`FaasCluster` assembles the experiment topology of §7: a control
-plane (controller + bus + registry), one compute node (SEUSS OS or
-Linux), and the external HTTP server.  The two constructors mirror the
-paper's two deployments — ``with_seuss_node`` routes invocations through
-the shim process, ``with_linux_node`` talks to the invoker directly.
+plane (controller + bus + registry), one or more compute nodes (SEUSS
+OS or Linux), and the external HTTP server.  The two constructors
+mirror the paper's two deployments — ``with_seuss_node`` routes
+invocations through the shim process, ``with_linux_node`` talks to the
+invoker directly.
+
+Resilience is opt-in per cluster: passing a fault plan, a retry policy,
+or a breaker policy wires up the fault injector (shared by the bus and
+every node), per-node :class:`~repro.faas.health.NodeHealth` circuit
+breakers, and the routing controller retry loop.  A cluster built
+without any of them is bit-identical to the historical single-node
+wiring — no injector, no router, no extra events.
 """
 
 from __future__ import annotations
 
-from typing import Generator, Iterable, Optional
+from typing import Generator, Iterable, List, Optional, Union
 
 from repro.costs import CostBook, DEFAULT_COSTS
-from repro.faas.controller import Controller
+from repro.faas.controller import Controller, RetryPolicy
+from repro.faas.health import (
+    BreakerPolicy,
+    CircuitBreaker,
+    NodeHealth,
+    NodeRouter,
+)
 from repro.faas.httpserver import ExternalHttpServer
 from repro.faas.messagebus import MessageBus
 from repro.faas.records import FunctionSpec, InvocationResult
 from repro.faas.registry import FunctionRegistry
+from repro.faults import FaultInjector, FaultPlan
 from repro.seuss.config import SeussConfig
 from repro.seuss.node import SeussNode
 from repro.seuss.shim import ShimProcess
@@ -24,7 +39,7 @@ from repro.sim import Environment, Process
 
 
 class FaasCluster:
-    """A complete FaaS deployment around one compute node."""
+    """A complete FaaS deployment around one or more compute nodes."""
 
     def __init__(
         self,
@@ -33,17 +48,69 @@ class FaasCluster:
         costs: CostBook = DEFAULT_COSTS,
         shim: Optional[ShimProcess] = None,
         functions: Iterable[FunctionSpec] = (),
+        faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+        retries: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerPolicy] = None,
     ) -> None:
         self.env = env
         self.node = node
         self.costs = costs
         self.registry = FunctionRegistry(functions)
-        self.bus = MessageBus(env)
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults, env)
+        self.fault_injector: Optional[FaultInjector] = faults
+        self.bus = MessageBus(env, injector=self.fault_injector)
         self.shim = shim
         self.external_server = ExternalHttpServer(env)
-        self.controller = Controller(
-            env, node, costs.platform, shim=shim, bus=self.bus
+        # Health tracking engages with any resilience knob; otherwise the
+        # controller keeps the historical direct-node fast path.
+        resilient = (
+            self.fault_injector is not None
+            or retries is not None
+            or breaker is not None
         )
+        self.breaker_policy = breaker or BreakerPolicy()
+        self.health: List[NodeHealth] = []
+        self.router: Optional[NodeRouter] = NodeRouter() if resilient else None
+        self._attach_node(node)
+        self.controller = Controller(
+            env,
+            node,
+            costs.platform,
+            shim=shim,
+            bus=self.bus,
+            retries=retries,
+            router=self.router,
+        )
+
+    # -- node membership -------------------------------------------------
+    def _attach_node(self, node) -> None:
+        if self.fault_injector is not None and hasattr(node, "fault_injector"):
+            node.fault_injector = self.fault_injector
+        if self.router is not None:
+            health = NodeHealth(
+                node, CircuitBreaker(self.env, self.breaker_policy)
+            )
+            self.health.append(health)
+            self.router.add(health)
+
+    def add_node(self, node) -> None:
+        """Join an initialized compute node to the routable pool.
+
+        Only meaningful on resilient clusters (a router must exist for
+        requests to reach any node beyond the first).
+        """
+        if self.router is None:
+            raise ValueError(
+                "add_node requires a resilient cluster (faults/retries/breaker)"
+            )
+        self._attach_node(node)
+
+    @property
+    def nodes(self) -> list:
+        if self.health:
+            return [health.node for health in self.health]
+        return [self.node]
 
     # -- constructors ----------------------------------------------------
     @classmethod
@@ -53,12 +120,24 @@ class FaasCluster:
         config: Optional[SeussConfig] = None,
         costs: CostBook = DEFAULT_COSTS,
         functions: Iterable[FunctionSpec] = (),
+        faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+        retries: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerPolicy] = None,
     ) -> "FaasCluster":
         """OpenWhisk with the SEUSS OS VM behind the shim process."""
         node = SeussNode(env, config=config, costs=costs)
         node.initialize_sync()
         shim = ShimProcess(env, costs.platform)
-        return cls(env, node, costs=costs, shim=shim, functions=functions)
+        return cls(
+            env,
+            node,
+            costs=costs,
+            shim=shim,
+            functions=functions,
+            faults=faults,
+            retries=retries,
+            breaker=breaker,
+        )
 
     @classmethod
     def with_linux_node(
@@ -67,13 +146,25 @@ class FaasCluster:
         config=None,
         costs: CostBook = DEFAULT_COSTS,
         functions: Iterable[FunctionSpec] = (),
+        faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+        retries: Optional[RetryPolicy] = None,
+        breaker: Optional[BreakerPolicy] = None,
     ) -> "FaasCluster":
         """Stock OpenWhisk: Linux + Docker compute node, no shim."""
         from repro.linuxnode.node import LinuxNode
 
         node = LinuxNode(env, config=config, costs=costs)
         node.start_stemcell_pool()
-        return cls(env, node, costs=costs, shim=None, functions=functions)
+        return cls(
+            env,
+            node,
+            costs=costs,
+            shim=None,
+            functions=functions,
+            faults=faults,
+            retries=retries,
+            breaker=breaker,
+        )
 
     # -- client API ------------------------------------------------------
     def register(self, fn: FunctionSpec) -> None:

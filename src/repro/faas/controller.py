@@ -11,14 +11,27 @@ Client-side timeouts are enforced here: a request that exceeds
 ``request_timeout_ms`` returns an error to the client (the behaviour
 behind the 'x' marks in Figures 6–8) while the node-side work is left
 to finish in the background, as on the real platform.
+
+Resilience is opt-in and costs nothing when idle.  A
+:class:`RetryPolicy` with ``max_attempts > 1`` re-dispatches failed
+node attempts with exponential backoff + seeded jitter (sim-clock
+based, so retry schedules replay deterministically), bounded by both an
+attempt count and a per-request backoff budget; a
+:class:`~repro.faas.health.NodeRouter` lets each attempt route around
+nodes whose circuit breakers are open.  With the default policy
+(single attempt, no router) the control flow is exactly the historical
+one — no extra events, no RNG draws, no added latency.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Generator, Optional
+import random
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
 
 from repro.costs import PlatformCostModel
+from repro.errors import CircuitOpenError, ConfigError
+from repro.faas.health import NodeRouter
 from repro.faas.messagebus import MessageBus
 from repro.faas.quotas import DISABLED, QuotaConfig, QuotaEnforcer
 from repro.faas.records import (
@@ -26,6 +39,7 @@ from repro.faas.records import (
     InvocationPath,
     InvocationRequest,
     InvocationResult,
+    NodeInvocation,
 )
 from repro.seuss.shim import ShimProcess
 from repro.sim import AnyOf, Environment
@@ -35,6 +49,76 @@ from repro.sim import AnyOf, Environment
 PRE_NODE_FRACTION = 0.7
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff + jitter for failed node attempts.
+
+    Attempt ``n`` (the ``n``-th *retry*) backs off
+    ``min(max_backoff_ms, base_backoff_ms * multiplier**(n-1))`` plus a
+    uniform jitter in ``[0, jitter_fraction * that]``, drawn from a RNG
+    seeded with ``seed`` — identical seeds give identical retry
+    timestamps on the sim clock.  ``budget_ms`` caps the *total* backoff
+    a single request may accumulate, independent of the attempt count.
+    """
+
+    #: Total attempts, including the first (1 = retries disabled).
+    max_attempts: int = 1
+    base_backoff_ms: float = 10.0
+    backoff_multiplier: float = 2.0
+    max_backoff_ms: float = 200.0
+    #: Jitter as a fraction of the pre-jitter backoff.
+    jitter_fraction: float = 0.2
+    #: Per-request cumulative backoff budget.
+    budget_ms: float = 5_000.0
+    seed: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.base_backoff_ms < 0 or self.max_backoff_ms < 0:
+            raise ConfigError("backoff times must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ConfigError("jitter_fraction must be in [0, 1]")
+        if self.budget_ms < 0:
+            raise ConfigError("budget_ms must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_attempts > 1
+
+    def backoff_bounds(self, attempt: int) -> "tuple[float, float]":
+        """Closed interval the ``attempt``-th retry's backoff falls in."""
+        base = min(
+            self.max_backoff_ms,
+            self.base_backoff_ms * self.backoff_multiplier ** (attempt - 1),
+        )
+        return base, base * (1.0 + self.jitter_fraction)
+
+    def backoff_ms(self, attempt: int, rng: random.Random) -> float:
+        base, _ = self.backoff_bounds(attempt)
+        return base + base * self.jitter_fraction * rng.random()
+
+
+#: The historical single-shot behaviour.
+NO_RETRIES = RetryPolicy()
+
+#: A sensible default for chaos/resilience runs: 12 attempts cover a
+#: node-restart window of several hundred ms at the default backoffs.
+RESILIENT_RETRIES = RetryPolicy(max_attempts=12)
+
+
+@dataclass(frozen=True)
+class RetryEvent:
+    """One retry the controller scheduled (for determinism audits)."""
+
+    request_id: int
+    attempt: int  # the attempt that just failed (1-based)
+    at_ms: float  # when the backoff started
+    backoff_ms: float
+
+
 @dataclass
 class ControllerStats:
     received: int = 0
@@ -42,6 +126,14 @@ class ControllerStats:
     failed: int = 0
     timed_out: int = 0
     throttled: int = 0
+    #: Individual retry attempts scheduled.
+    retried: int = 0
+    #: Requests that succeeded only after >= 1 retry.
+    recovered: int = 0
+    #: Requests that failed with their retry budget/attempts spent.
+    retry_exhausted: int = 0
+    #: Attempts rejected because every node's circuit was open.
+    circuit_rejected: int = 0
 
 
 class Controller:
@@ -55,6 +147,8 @@ class Controller:
         shim: Optional[ShimProcess] = None,
         bus: Optional[MessageBus] = None,
         quotas: QuotaConfig = DISABLED,
+        retries: Optional[RetryPolicy] = None,
+        router: Optional[NodeRouter] = None,
     ) -> None:
         self.env = env
         self.node = node
@@ -63,7 +157,12 @@ class Controller:
         self.bus = bus or MessageBus(env)
         #: Per-namespace throttling; the paper disables it (the default).
         self.quotas = QuotaEnforcer(quotas)
+        self.retries = retries or NO_RETRIES
+        self.router = router
+        self._retry_rng = random.Random(self.retries.seed)
         self.stats = ControllerStats()
+        #: Audit log of scheduled retries (empty unless retries fire).
+        self.retry_events: List[RetryEvent] = []
 
     @property
     def pre_node_ms(self) -> float:
@@ -73,6 +172,60 @@ class Controller:
     def post_node_ms(self) -> float:
         return self.costs.control_plane_ms * (1.0 - PRE_NODE_FRACTION)
 
+    # -- node attempts ---------------------------------------------------
+    def _attempt_node(self, fn: FunctionSpec, request: InvocationRequest):
+        """Sim sub-process: one dispatch to a (routed) node.
+
+        Returns the :class:`NodeInvocation` — synthesized when every
+        circuit is open — or ``None`` if the client deadline expired.
+        """
+        env = self.env
+        health = None
+        if self.router is not None:
+            try:
+                health = self.router.select()
+                node = health.node
+            except CircuitOpenError as exc:
+                self.stats.circuit_rejected += 1
+                return NodeInvocation(
+                    path=InvocationPath.ERROR,
+                    success=False,
+                    latency_ms=0.0,
+                    error=str(exc),
+                    function_key=fn.key,
+                )
+        else:
+            node = self.node
+
+        node_process = node.invoke(fn)
+        remaining = self.costs.request_timeout_ms - (env.now - request.sent_at_ms)
+        if remaining <= 0:
+            remaining = 0.1
+        deadline = env.timeout(remaining)
+        yield AnyOf(env, [node_process, deadline])
+
+        if not node_process.processed:
+            # Client gave up; the node finishes (or fails) on its own.
+            return None
+        node_result = node_process.value
+        if health is not None:
+            if node_result.success:
+                health.record_success()
+            else:
+                health.record_failure()
+        return node_result
+
+    def _should_retry(
+        self, result: NodeInvocation, attempt: int, backoff_spent: float
+    ) -> bool:
+        if result.success or not self.retries.enabled:
+            return False
+        if attempt >= self.retries.max_attempts:
+            return False
+        next_backoff, _ = self.retries.backoff_bounds(attempt)
+        return backoff_spent + next_backoff <= self.retries.budget_ms
+
+    # -- client API ------------------------------------------------------
     def invoke(self, fn: FunctionSpec) -> Generator:
         """Sim process: one synchronous client request end to end.
 
@@ -107,36 +260,49 @@ class Controller:
             if self.shim is not None:
                 yield from self.shim.forward()
 
-            node_process = self.node.invoke(fn)
-            remaining = self.costs.request_timeout_ms - (
-                env.now - request.sent_at_ms
-            )
-            if remaining <= 0:
-                remaining = 0.1
-            deadline = env.timeout(remaining)
-            yield AnyOf(env, [node_process, deadline])
-
-            if not node_process.processed:
-                # Client gave up; the node finishes (or fails) on its own.
-                self.stats.timed_out += 1
-                self.stats.failed += 1
-                return InvocationResult(
-                    request_id=request.request_id,
-                    function_key=fn.key,
-                    path=InvocationPath.ERROR,
-                    success=False,
-                    sent_at_ms=request.sent_at_ms,
-                    finished_at_ms=env.now,
-                    error="request timed out",
+            attempt = 1
+            backoff_spent = 0.0
+            while True:
+                node_result = yield from self._attempt_node(fn, request)
+                if node_result is None:
+                    self.stats.timed_out += 1
+                    self.stats.failed += 1
+                    return InvocationResult(
+                        request_id=request.request_id,
+                        function_key=fn.key,
+                        path=InvocationPath.ERROR,
+                        success=False,
+                        sent_at_ms=request.sent_at_ms,
+                        finished_at_ms=env.now,
+                        error="request timed out",
+                        attempts=attempt,
+                    )
+                if not self._should_retry(node_result, attempt, backoff_spent):
+                    if not node_result.success and self.retries.enabled:
+                        self.stats.retry_exhausted += 1
+                    break
+                backoff = self.retries.backoff_ms(attempt, self._retry_rng)
+                self.stats.retried += 1
+                self.retry_events.append(
+                    RetryEvent(
+                        request_id=request.request_id,
+                        attempt=attempt,
+                        at_ms=env.now,
+                        backoff_ms=backoff,
+                    )
                 )
+                yield env.timeout(backoff)
+                backoff_spent += backoff
+                attempt += 1
 
-            node_result = node_process.value
             yield env.timeout(self.post_node_ms)
         finally:
             self.quotas.release(fn.owner)
 
         if node_result.success:
             self.stats.succeeded += 1
+            if attempt > 1:
+                self.stats.recovered += 1
         else:
             self.stats.failed += 1
         return InvocationResult(
@@ -150,4 +316,5 @@ class Controller:
             breakdown=dict(node_result.breakdown),
             error=node_result.error,
             pages_copied=node_result.pages_copied,
+            attempts=attempt,
         )

@@ -152,8 +152,15 @@ class InvocationResult:
     breakdown: Dict[str, float] = field(default_factory=dict)
     error: Optional[str] = None
     pages_copied: int = 0
+    #: Node dispatch attempts the controller made (1 = no retries).
+    attempts: int = 1
 
     @property
     def latency_ms(self) -> float:
         """Client-observed end-to-end latency."""
         return self.finished_at_ms - self.sent_at_ms
+
+    @property
+    def retried(self) -> bool:
+        """Whether the controller re-dispatched this request at least once."""
+        return self.attempts > 1

@@ -1,0 +1,32 @@
+"""Deterministic, seedable fault injection (`repro.faults`).
+
+The subsystem that lets the reproduction *exercise* failure: a
+:class:`FaultPlan` declares which faults may fire (node crashes,
+snapshot corruption on capture or restore, message-bus drops and
+delays, degraded cores) and with what probability; a
+:class:`FaultInjector` answers each component's injection-point
+questions from a private seeded RNG, so chaos runs replay exactly.
+
+The resilience these faults exercise lives platform-side:
+:class:`repro.faas.controller.RetryPolicy` (backoff + jitter),
+:class:`repro.faas.health.CircuitBreaker` (per-node routing), and the
+snapshot checksum/quarantine path in :mod:`repro.mem.snapshot` and
+:mod:`repro.seuss.snapshots`.
+"""
+
+from repro.faults.injector import (
+    EVENT_LOG_LIMIT,
+    FaultEvent,
+    FaultInjector,
+    FaultStats,
+)
+from repro.faults.plan import FaultPlan, NO_FAULTS
+
+__all__ = [
+    "EVENT_LOG_LIMIT",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
+    "NO_FAULTS",
+]

@@ -1,0 +1,140 @@
+"""The deterministic fault injector.
+
+One :class:`FaultInjector` is shared by every component of a cluster
+(nodes, bus, invoker paths).  Components ask it yes/no questions at
+well-defined *injection points* — "does this invocation crash the
+node?", "is this captured snapshot corrupt?" — and the injector answers
+from a private seeded RNG.  Because the simulation is single-threaded
+and event order is deterministic, the sequence of questions is
+deterministic too, so a (plan, workload, seed) triple replays the exact
+same fault schedule on every run.
+
+Two rules keep the zero-fault configuration bit-identical to a build
+without the subsystem:
+
+* a probability of exactly 0 returns ``False`` **without drawing** from
+  the RNG, and
+* the injector never schedules events or advances the clock itself —
+  it only decides; the disrupted component pays the cost.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan
+
+#: Cap on the retained per-fault event log (counters are unbounded).
+EVENT_LOG_LIMIT = 10_000
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that fired: what kind, and when (sim clock)."""
+
+    kind: str
+    at_ms: float
+
+
+@dataclass
+class FaultStats:
+    """Tally of injected faults by kind."""
+
+    node_crashes: int = 0
+    capture_corruptions: int = 0
+    restore_corruptions: int = 0
+    bus_drops: int = 0
+    bus_delays: int = 0
+    slow_cores: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.node_crashes
+            + self.capture_corruptions
+            + self.restore_corruptions
+            + self.bus_drops
+            + self.bus_delays
+            + self.slow_cores
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "node_crashes": self.node_crashes,
+            "capture_corruptions": self.capture_corruptions,
+            "restore_corruptions": self.restore_corruptions,
+            "bus_drops": self.bus_drops,
+            "bus_delays": self.bus_delays,
+            "slow_cores": self.slow_cores,
+        }
+
+
+class FaultInjector:
+    """Seeded per-opportunity fault decisions for one cluster."""
+
+    def __init__(self, plan: FaultPlan, env=None) -> None:
+        self.plan = plan
+        #: Sim environment, used only to timestamp the event log.
+        self.env = env
+        self._rng = random.Random(plan.seed)
+        self.stats = FaultStats()
+        self.events: List[FaultEvent] = []
+
+    # -- internals -----------------------------------------------------
+    def _flip(self, probability: float) -> bool:
+        """Bernoulli draw; a zero probability consumes no randomness."""
+        if probability <= 0.0:
+            return False
+        return self._rng.random() < probability
+
+    def _fired(self, kind: str, counter: str) -> bool:
+        setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        if len(self.events) < EVENT_LOG_LIMIT:
+            at = self.env.now if self.env is not None else 0.0
+            self.events.append(FaultEvent(kind=kind, at_ms=at))
+        return True
+
+    # -- injection points ----------------------------------------------
+    def node_crashes(self) -> bool:
+        """Does the node power-fail on this invocation?"""
+        if self._flip(self.plan.node_crash_p):
+            return self._fired("node_crash", "node_crashes")
+        return False
+
+    def snapshot_corrupts_on_capture(self) -> bool:
+        """Is this freshly captured snapshot corrupt?"""
+        if self._flip(self.plan.snapshot_corrupt_capture_p):
+            return self._fired("capture_corruption", "capture_corruptions")
+        return False
+
+    def snapshot_corrupts_on_restore(self) -> bool:
+        """Is this cached snapshot found corrupt when loaded for restore?"""
+        if self._flip(self.plan.snapshot_corrupt_restore_p):
+            return self._fired("restore_corruption", "restore_corruptions")
+        return False
+
+    def bus_verdict(self) -> Optional[Tuple[str, float]]:
+        """Disruption for one bus publish.
+
+        Returns ``None`` (deliver normally), ``("drop", redeliver_ms)``
+        (lost; the producer's retry redelivers it later), or
+        ``("delay", delay_ms)``.
+        """
+        if self._flip(self.plan.bus_drop_p):
+            self._fired("bus_drop", "bus_drops")
+            return ("drop", self.plan.bus_redeliver_ms)
+        if self._flip(self.plan.bus_delay_p):
+            self._fired("bus_delay", "bus_delays")
+            return ("delay", self.plan.bus_delay_ms)
+        return None
+
+    def core_runs_slow(self) -> bool:
+        """Does this invocation execute on a degraded core?"""
+        if self._flip(self.plan.slow_core_p):
+            return self._fired("slow_core", "slow_cores")
+        return False
+
+    def __repr__(self) -> str:
+        return f"FaultInjector(seed={self.plan.seed:#x}, fired={self.stats.total})"

@@ -1,0 +1,106 @@
+"""Fault plans: the declarative configuration of a chaos run.
+
+A :class:`FaultPlan` names every fault the injector may fire and the
+probability / magnitude of each, plus the RNG seed that makes a run
+reproducible.  Probabilities are evaluated per *opportunity* — one draw
+per node invocation for crashes and slow cores, one per snapshot
+capture/restore, one per bus publish — so two runs with the same plan,
+the same workload, and the same seed inject exactly the same faults at
+exactly the same simulated times.
+
+The default plan is all-zeros: installing it changes nothing, which is
+what lets the resilience layer stay wired in production topologies at
+zero cost (no RNG draws happen for a probability of 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+from repro.errors import FaultInjectionError
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Probabilities and magnitudes for every injectable fault."""
+
+    #: Seed for the injector's private RNG (never the global one).
+    seed: int = 0xFA117
+
+    # -- node crash / restart ------------------------------------------
+    #: Per-invocation probability that the target node power-fails.
+    node_crash_p: float = 0.0
+    #: How long a crashed node stays down before it restarts (reboot +
+    #: runtime-snapshot rebuild, amortized).
+    node_restart_ms: float = 300.0
+
+    # -- snapshot integrity --------------------------------------------
+    #: Probability that a freshly captured function snapshot is corrupt.
+    snapshot_corrupt_capture_p: float = 0.0
+    #: Probability that a cached snapshot is found corrupt at restore.
+    snapshot_corrupt_restore_p: float = 0.0
+
+    # -- message bus ---------------------------------------------------
+    #: Per-publish probability that the message is dropped on the floor.
+    bus_drop_p: float = 0.0
+    #: Producer-retry redelivery delay for a dropped message.
+    bus_redeliver_ms: float = 25.0
+    #: Per-publish probability of an added delivery delay.
+    bus_delay_p: float = 0.0
+    #: The added delivery delay.
+    bus_delay_ms: float = 5.0
+
+    # -- degraded cores ------------------------------------------------
+    #: Per-invocation probability the serving core runs degraded.
+    slow_core_p: float = 0.0
+    #: Execution-time multiplier on a degraded core.
+    slow_core_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "node_crash_p",
+            "snapshot_corrupt_capture_p",
+            "snapshot_corrupt_restore_p",
+            "bus_drop_p",
+            "bus_delay_p",
+            "slow_core_p",
+        ):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise FaultInjectionError(f"{name}={p} outside [0, 1]")
+        for name in ("node_restart_ms", "bus_redeliver_ms", "bus_delay_ms"):
+            value = getattr(self, name)
+            if value < 0:
+                raise FaultInjectionError(f"{name}={value} must be >= 0")
+        if self.slow_core_factor < 1.0:
+            raise FaultInjectionError(
+                f"slow_core_factor={self.slow_core_factor} must be >= 1"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any fault can actually fire under this plan."""
+        return any(
+            getattr(self, f.name) > 0
+            for f in fields(self)
+            if f.name.endswith("_p")
+        )
+
+    def scaled(self, factor: float) -> "FaultPlan":
+        """A copy with every probability scaled by ``factor`` (capped at 1).
+
+        The sweep knob of the chaos experiment: magnitudes and the seed
+        are unchanged, so runs at different scales stay comparable.
+        """
+        if factor < 0:
+            raise FaultInjectionError(f"scale factor {factor} must be >= 0")
+        changes = {
+            f.name: min(1.0, getattr(self, f.name) * factor)
+            for f in fields(self)
+            if f.name.endswith("_p")
+        }
+        return replace(self, **changes)
+
+
+#: The no-op plan: resilience wired in, nothing injected.
+NO_FAULTS = FaultPlan()

@@ -14,16 +14,36 @@ refcounts (:meth:`Snapshot.retain` / :meth:`Snapshot.release` /
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import SnapshotError
+from repro.errors import SnapshotCorruptionError, SnapshotError
 from repro.mem.frames import FrameAllocator
 from repro.mem.intervals import IntervalSet
 from repro.units import pages_to_mb
 
 #: Allocation category used for snapshot-owned frames.
 SNAPSHOT_CATEGORY = "snapshot"
+
+
+def content_checksum(name: str, pages: IntervalSet, cpu: "CpuState") -> int:
+    """CRC32 over everything a restore depends on.
+
+    The simulation has no real page bytes, so the checksum covers the
+    snapshot's *identity*: its name, the exact page extents it owns, and
+    the captured CPU state.  That is enough to model the real system's
+    integrity property — any divergence between what was captured and
+    what a restore would deploy is detectable.
+    """
+    crc = zlib.crc32(name.encode())
+    for start, stop in pages.intervals():
+        crc = zlib.crc32(f"{start}:{stop};".encode(), crc)
+    crc = zlib.crc32(
+        f"{cpu.instruction_pointer}:{cpu.stack_pointer}:{cpu.trigger_label}".encode(),
+        crc,
+    )
+    return crc
 
 
 @dataclass(frozen=True)
@@ -60,6 +80,11 @@ class Snapshot:
         self._refs = 0
         self._deleted = False
         self._orphan = False
+        # Content checksum recorded at capture and validated on restore
+        # (the snapshot-integrity path).  A corrupting fault flips
+        # ``_corrupted``, standing in for bit rot in the stored frames.
+        self._checksum = content_checksum(name, self._pages, self.cpu)
+        self._corrupted = False
         # Cloning the dirty pages into snapshot-owned frames is the
         # capture step; the frames are held until the snapshot is deleted.
         allocator.allocate(self._pages.page_count, SNAPSHOT_CATEGORY)
@@ -135,6 +160,40 @@ class Snapshot:
 
     def owns(self, page: int) -> bool:
         return page in self._pages
+
+    # -- integrity -------------------------------------------------------
+    @property
+    def checksum(self) -> int:
+        """The content checksum recorded at capture."""
+        return self._checksum
+
+    @property
+    def intact(self) -> bool:
+        """Whether this snapshot (alone, not its stack) passes validation."""
+        return not self._corrupted and self._checksum == content_checksum(
+            self.name, self._pages, self.cpu
+        )
+
+    def corrupt(self) -> None:
+        """Simulate bit rot: the stored content no longer matches the
+        checksum.  The damage is only *observed* at the next
+        :meth:`verify` — exactly like real at-rest corruption."""
+        self._corrupted = True
+
+    def verify(self, deep: bool = True) -> None:
+        """Validate checksums before a restore; raises on mismatch.
+
+        ``deep`` walks the whole stack, since deploying from this
+        snapshot resolves page faults through every ancestor.
+        """
+        node: Optional[Snapshot] = self
+        while node is not None:
+            if not node.intact:
+                raise SnapshotCorruptionError(
+                    f"snapshot {node.name!r} failed checksum validation"
+                    + ("" if node is self else f" (ancestor of {self.name!r})")
+                )
+            node = node.parent if deep else None
 
     def resolve(self, page: int) -> Optional["Snapshot"]:
         """Find the topmost snapshot in the stack owning ``page``.

@@ -1,12 +1,14 @@
 """Measurement utilities: percentiles, latency series, throughput."""
 
 from repro.metrics.collector import LatencyRecorder, ThroughputWindow, TrialMetrics
+from repro.metrics.resilience import ResilienceReport
 from repro.metrics.stats import LatencySummary, mean, percentile, summarize
 from repro.metrics.reporter import format_table, paper_vs_measured
 
 __all__ = [
     "LatencyRecorder",
     "LatencySummary",
+    "ResilienceReport",
     "ThroughputWindow",
     "TrialMetrics",
     "format_table",

@@ -1,0 +1,101 @@
+"""Resilience counters: one view over a cluster's failure handling.
+
+The platform's failure story is scattered by design — retries live in
+``ControllerStats``, breaker transitions in each node's
+``BreakerStats``, quarantines in the snapshot-cache stats, drops in the
+bus topic stats, injected faults in the injector.
+:class:`ResilienceReport` gathers them into one flat record that the
+chaos experiment tabulates and tests assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class ResilienceReport:
+    """Aggregated resilience counters for one cluster run."""
+
+    # Controller-side.
+    received: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    timed_out: int = 0
+    retried: int = 0
+    recovered: int = 0
+    retry_exhausted: int = 0
+    circuit_rejected: int = 0
+    # Node-side.
+    node_crashes: int = 0
+    node_restarts: int = 0
+    breaker_opens: int = 0
+    breaker_closes: int = 0
+    snapshots_quarantined: int = 0
+    # Bus-side.
+    bus_dropped: int = 0
+    bus_delayed: int = 0
+    # Injected faults by kind (empty when no injector is installed).
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def success_rate(self) -> float:
+        """Client-visible success fraction."""
+        if self.received == 0:
+            return 1.0
+        return self.succeeded / self.received
+
+    @classmethod
+    def from_cluster(cls, cluster) -> "ResilienceReport":
+        """Collect from a :class:`~repro.faas.cluster.FaasCluster`."""
+        stats = cluster.controller.stats
+        report = cls(
+            received=stats.received,
+            succeeded=stats.succeeded,
+            failed=stats.failed,
+            timed_out=stats.timed_out,
+            retried=stats.retried,
+            recovered=stats.recovered,
+            retry_exhausted=stats.retry_exhausted,
+            circuit_rejected=stats.circuit_rejected,
+        )
+        for topic_stats in cluster.bus.stats.values():
+            report.bus_dropped += topic_stats.dropped
+            report.bus_delayed += topic_stats.delayed
+        for health in getattr(cluster, "health", []):
+            node = health.node
+            report.node_crashes += getattr(node, "crash_count", 0)
+            report.node_restarts += getattr(node, "restart_count", 0)
+            report.breaker_opens += health.breaker.stats.opens
+            report.breaker_closes += health.breaker.stats.closes
+            cache = getattr(node, "snapshot_cache", None)
+            if cache is not None:
+                report.snapshots_quarantined += cache.stats.quarantined
+        injector = getattr(cluster, "fault_injector", None)
+        if injector is not None:
+            report.faults_injected = injector.stats.as_dict()
+        return report
+
+    def lines(self) -> List[str]:
+        """A human-readable summary block."""
+        out = [
+            f"requests: {self.received} "
+            f"(ok {self.succeeded}, failed {self.failed}, "
+            f"timed out {self.timed_out})",
+            f"retries: {self.retried} scheduled, {self.recovered} requests "
+            f"recovered, {self.retry_exhausted} exhausted",
+            f"circuit: {self.circuit_rejected} rejections, "
+            f"{self.breaker_opens} opens, {self.breaker_closes} closes",
+            f"nodes: {self.node_crashes} crashes, {self.node_restarts} restarts",
+            f"snapshots quarantined: {self.snapshots_quarantined}",
+            f"bus: {self.bus_dropped} dropped, {self.bus_delayed} delayed",
+        ]
+        if self.faults_injected:
+            fired = ", ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.faults_injected.items())
+                if count
+            )
+            out.append(f"faults injected: {fired or 'none'}")
+        return out

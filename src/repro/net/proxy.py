@@ -13,8 +13,9 @@ be initiated from within a unikernel.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, Optional
 
 from repro.errors import NetworkError
 
@@ -26,7 +27,14 @@ _channel_ids = itertools.count(1)
 
 
 class PortAllocator:
-    """Ephemeral TCP ports for one proxy."""
+    """Ephemeral TCP ports for one proxy.
+
+    Ports released on channel teardown are recycled FIFO (oldest
+    release reused first, spreading reuse across the range like the
+    kernel's TIME_WAIT avoidance), so sustained channel churn — far
+    more cumulative channels than the range holds — never exhausts the
+    allocator, while a port is never handed out twice concurrently.
+    """
 
     def __init__(
         self, start: int = PORT_RANGE_START, end: int = PORT_RANGE_END
@@ -36,16 +44,26 @@ class PortAllocator:
         self._start = start
         self._end = end
         self._next = start
-        self._free: List[int] = []
+        self._free: Deque[int] = deque()
         self._in_use: set = set()
+        self.recycled = 0
 
     @property
     def in_use(self) -> int:
         return len(self._in_use)
 
+    @property
+    def capacity(self) -> int:
+        return self._end - self._start
+
+    @property
+    def available(self) -> int:
+        return self.capacity - len(self._in_use)
+
     def allocate(self) -> int:
         if self._free:
-            port = self._free.pop()
+            port = self._free.popleft()
+            self.recycled += 1
         elif self._next < self._end:
             port = self._next
             self._next += 1

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator
 
-from repro.errors import OutOfMemoryError
+from repro.errors import OutOfMemoryError, SnapshotCorruptionError
 from repro.faas.records import (
     FunctionSpec,
     InvocationPath,
@@ -58,12 +58,25 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
         stage_times[stage] = env.now
 
     # -- path selection -----------------------------------------------
+    injector = node.fault_injector
     uc = node.uc_cache.pop(fn.key)
     if uc is not None:
         path = InvocationPath.HOT
         fn_snapshot = None
     else:
         fn_snapshot = node.snapshot_cache.get(fn.key)
+        if fn_snapshot is not None:
+            if injector is not None and injector.snapshot_corrupts_on_restore():
+                fn_snapshot.corrupt()
+            # Integrity gate: checksums are validated before any restore.
+            # A corrupted snapshot is quarantined and the invocation
+            # falls through to the cold path — one cold rebuild, no
+            # client-visible failure.
+            try:
+                fn_snapshot.verify()
+            except SnapshotCorruptionError:
+                node.snapshot_cache.quarantine(fn.key)
+                fn_snapshot = None
         path = InvocationPath.WARM if fn_snapshot is not None else InvocationPath.COLD
 
     core = node.cores.request()
@@ -133,6 +146,10 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
                         STAGE_CAPTURE, costs.snapshot_capture_ms(snapshot.size_mb)
                     )
                 )
+                if injector is not None and injector.snapshot_corrupts_on_capture():
+                    # A bad capture: the damage surfaces at the next
+                    # restore's checksum validation, not now.
+                    snapshot.corrupt()
                 if not node.snapshot_cache.put(fn.key, snapshot):
                     # Lost the insertion race to a concurrent cold start;
                     # reap this duplicate when its UC is destroyed.
@@ -171,7 +188,11 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
 
         result = uc.execute(fn.exec_write_pages)
         pages_copied += result.pages_copied
-        yield env.timeout(charge(STAGE_EXEC, fn.exec_ms))
+        exec_ms = fn.exec_ms
+        if injector is not None and injector.core_runs_slow():
+            # Degraded-core fault: the body runs, just slower.
+            exec_ms *= injector.plan.slow_core_factor
+        yield env.timeout(charge(STAGE_EXEC, exec_ms))
         if fn.io_wait_ms > 0:
             # Blocked on external I/O: the poll-based UC releases its
             # core while waiting.

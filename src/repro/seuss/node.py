@@ -85,6 +85,12 @@ class SeussNode:
         self._runtimes: Dict[str, RuntimeRecord] = {}
         self.stats = NodeStats()
         self.initialized = False
+        #: Optional :class:`repro.faults.FaultInjector`; installed by the
+        #: cluster when a fault plan is active, ``None`` otherwise.
+        self.fault_injector = None
+        self.crashed = False
+        self.crash_count = 0
+        self.restart_count = 0
 
     # -- initialization ----------------------------------------------------
     def initialize(self) -> Generator:
@@ -147,6 +153,41 @@ class SeussNode:
     def runtime_records(self) -> Dict[str, RuntimeRecord]:
         return dict(self._runtimes)
 
+    # -- crash / restart ---------------------------------------------------
+    def crash(self) -> None:
+        """Power-fail the node.
+
+        All volatile state dies with it: idle UCs are gone, and the
+        in-memory snapshot cache is lost (best-effort — entries pinned
+        by in-flight invocations survive until those drain, like pages
+        a crashing kernel had already DMA'd out).  Invocations routed
+        here while down fail fast, which is what the controller's
+        retry/breaker machinery is built to absorb.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_count += 1
+        self.uc_cache.clear()
+        self.snapshot_cache.clear()
+
+    def restart(self) -> None:
+        """Bring a crashed node back; caches rebuild cold from here."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.restart_count += 1
+
+    def crash_for(self, downtime_ms: float) -> Process:
+        """Crash now and schedule the restart ``downtime_ms`` later."""
+
+        def _reboot() -> Generator:
+            yield self.env.timeout(downtime_ms)
+            self.restart()
+
+        self.crash()
+        return self.env.process(_reboot())
+
     # -- invocation ------------------------------------------------------
     def invoke(self, fn: FunctionSpec) -> Process:
         """Start servicing an invocation; returns its sim process.
@@ -156,7 +197,28 @@ class SeussNode:
         """
         if not self.initialized:
             raise ConfigError("node not initialized; call initialize_sync() first")
+        injector = self.fault_injector
+        if (
+            injector is not None
+            and not self.crashed
+            and injector.node_crashes()
+        ):
+            self.crash_for(injector.plan.node_restart_ms)
+        if self.crashed:
+            return self.env.process(self._crashed_invocation(fn))
         return self.env.process(invoke_on_node(self, fn))
+
+    def _crashed_invocation(self, fn: FunctionSpec) -> Generator:
+        """A dead node's peer sees an immediate connection reset."""
+        self.stats.errors += 1
+        yield self.env.timeout(0.0)
+        return NodeInvocation(
+            path=InvocationPath.ERROR,
+            success=False,
+            latency_ms=0.0,
+            error="node crashed",
+            function_key=fn.key,
+        )
 
     def invoke_sync(self, fn: FunctionSpec) -> NodeInvocation:
         """Invoke and run the environment until completion (micro tests)."""

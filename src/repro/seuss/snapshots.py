@@ -28,6 +28,7 @@ class SnapshotCacheStats:
     insertions: int = 0
     evictions: int = 0
     eviction_failures: int = 0
+    quarantined: int = 0
 
 
 class SnapshotCache:
@@ -126,6 +127,32 @@ class SnapshotCache:
         snapshot.delete()
         self._held_pages -= footprint
         self.stats.evictions += 1
+        if self.evict_listener is not None:
+            self.evict_listener(key)
+        return True
+
+    def quarantine(self, key: str) -> bool:
+        """Pull a corrupted snapshot out of service immediately.
+
+        Unlike eviction, quarantine cannot be refused: the entry is
+        removed from the cache even while in-flight UCs still depend on
+        the snapshot (they already resolved their pages; only *new*
+        deployments are at risk).  Idle UCs deployed from it are
+        destroyed as suspect, and the snapshot's frames are reclaimed as
+        soon as the last dependent drops.  The next invocation of the
+        function misses the cache and rebuilds cold — the SEUSS
+        recovery story: a bad snapshot costs one cold start.
+        """
+        snapshot = self._entries.pop(key, None)
+        if snapshot is None:
+            return False
+        self._held_pages -= snapshot.footprint_pages
+        self.stats.quarantined += 1
+        self._drop_idle(key)
+        snapshot.release()
+        if not snapshot.deleted:
+            # Live dependents remain: reap once the last one drops.
+            snapshot.mark_orphan()
         if self.evict_listener is not None:
             self.evict_listener(key)
         return True

@@ -37,6 +37,29 @@ class TestPortAllocator:
         with pytest.raises(ValueError):
             PortAllocator(start=100, end=50)
 
+    def test_100k_churn_does_not_exhaust_range(self):
+        """Regression: sequential open/close churn far beyond the range
+        size must recycle released ports instead of exhausting."""
+        ports = PortAllocator()
+        for _ in range(100_000):
+            ports.release(ports.allocate())
+        assert ports.in_use == 0
+        assert ports.available == ports.capacity
+
+    def test_100k_interleaved_churn_with_live_window(self):
+        """Churn with a sliding window of live ports: never exhausts,
+        never double-allocates."""
+        ports = PortAllocator(start=40_000, end=40_128)
+        live = []
+        for index in range(100_000):
+            live.append(ports.allocate())
+            if len(live) >= 100:
+                ports.release(live.pop(0))
+            if index % 4096 == 0:
+                assert len(set(live)) == len(live)  # no duplicate grants
+        assert ports.in_use == len(live)
+        assert len(set(live)) == len(live)
+
 
 class TestNetworkProxy:
     def test_open_route_close(self):
@@ -82,6 +105,17 @@ class TestNetworkProxy:
         proxy.close_channel(channel)
         proxy.close_channel(channel)  # no error
         assert proxy.stats.closed == 1
+
+    def test_100k_channel_churn_releases_ports(self):
+        """Regression: open/close 100k channels on one proxy — ports
+        must be released on teardown, not leaked until exhaustion
+        (the ephemeral range holds only ~28k)."""
+        proxy = NetworkProxy(core=0)
+        for index in range(100_000):
+            proxy.close_channel(proxy.open_channel(uc_id=index))
+        assert proxy.active_channels == 0
+        assert proxy.stats.opened == proxy.stats.closed == 100_000
+        assert proxy._ports.in_use == 0
 
 
 class TestNodeNetwork:
