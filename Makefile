@@ -8,8 +8,14 @@ install:
 test:
 	pytest tests/
 
+# Timing suite + BENCH_<date>.json perf-trajectory artifact (engine
+# microbenchmarks plus serial-vs-parallel suite wall-clock).
+BENCH_ARTIFACT := BENCH_$(shell date +%Y-%m-%d).json
+
 bench:
-	pytest benchmarks/ --benchmark-only
+	pytest benchmarks/ --benchmark-only --benchmark-json=.bench-micro.json
+	python -m benchmarks.perf_trajectory --micro .bench-micro.json \
+		--out $(BENCH_ARTIFACT)
 
 # Fault-injection acceptance suite + degradation sweep (fixed seeds).
 chaos:
@@ -21,7 +27,7 @@ repro:
 	python -m repro.experiments.runner all
 
 repro-quick:
-	python -m repro.experiments.runner all --quick
+	python -m repro.experiments.runner all --quick --parallel 4
 
 examples:
 	@for example in examples/*.py; do \
@@ -30,5 +36,6 @@ examples:
 	done
 
 clean:
-	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis
+	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis \
+		.bench-micro.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,126 @@
+"""Write the BENCH_<date>.json perf-trajectory artifact.
+
+``make bench`` runs this after the pytest benchmark suite.  The
+artifact records, for trend tracking across PRs:
+
+* suite wall-clock — the quick-profile experiment suite executed
+  serially and through the parallel executor (same specs, so the
+  speedup column is the executor's contribution on this host);
+* engine microbenchmarks — ingested from pytest-benchmark's JSON
+  (``--benchmark-json``) when available, so the simulator's hot-path
+  numbers ride along in the same file.
+
+Usage::
+
+    python -m benchmarks.perf_trajectory --out BENCH_2026-08-06.json \
+        [--micro .bench-micro.json] [--profile quick] [--parallel N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import sys
+from typing import List, Optional
+
+from repro.experiments import load_all
+from repro.experiments.suite import run_suite
+
+#: Artifact schema; bump on breaking changes.
+BENCH_SCHEMA_VERSION = 1
+
+
+def measure_suite(profile: str, parallel: int) -> dict:
+    """Run the suite twice (serial, parallel) and report wall-clocks."""
+    ids = load_all().ids()
+    serial = run_suite(ids, profile=profile, parallel=1)
+    wide = run_suite(ids, profile=profile, parallel=parallel)
+    identical = [o.text for o in serial.outcomes] == [
+        o.text for o in wide.outcomes
+    ]
+    return {
+        "profile": profile,
+        "experiments": len(ids),
+        "serial_wall_clock_s": round(serial.wall_clock_s, 3),
+        "parallel_wall_clock_s": round(wide.wall_clock_s, 3),
+        "parallel_workers": parallel,
+        "speedup": round(serial.wall_clock_s / wide.wall_clock_s, 3)
+        if wide.wall_clock_s
+        else None,
+        "tables_byte_identical": identical,
+        "failures": sorted(
+            {o.experiment_id for o in serial.failed + wide.failed}
+        ),
+    }
+
+
+def ingest_micro(path: Optional[str]) -> List[dict]:
+    """Summarize a pytest-benchmark JSON file (mean/stddev per test)."""
+    if not path or not os.path.exists(path):
+        return []
+    with open(path) as handle:
+        payload = json.load(handle)
+    micro = []
+    for bench in payload.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        micro.append(
+            {
+                "name": bench.get("fullname", bench.get("name")),
+                "mean_s": stats.get("mean"),
+                "stddev_s": stats.get("stddev"),
+                "rounds": stats.get("rounds"),
+            }
+        )
+    return micro
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Write the perf-trajectory BENCH artifact"
+    )
+    parser.add_argument("--out", required=True, help="output JSON path")
+    parser.add_argument(
+        "--micro",
+        default=None,
+        help="pytest-benchmark JSON to ingest (from --benchmark-json)",
+    )
+    parser.add_argument("--profile", default="quick")
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=min(4, os.cpu_count() or 1),
+        help="parallel width for the suite comparison (default: cores, max 4)",
+    )
+    args = parser.parse_args(argv)
+
+    suite = measure_suite(args.profile, args.parallel)
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "seuss-repro-bench",
+        "date": datetime.date.today().isoformat(),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "suite": suite,
+        "micro": ingest_micro(args.micro),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print(
+        f"wrote {args.out}: suite serial {suite['serial_wall_clock_s']}s, "
+        f"parallel({suite['parallel_workers']}) "
+        f"{suite['parallel_wall_clock_s']}s "
+        f"(speedup {suite['speedup']}x, "
+        f"identical={suite['tables_byte_identical']}), "
+        f"{len(payload['micro'])} microbenchmarks"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

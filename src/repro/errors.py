@@ -68,3 +68,12 @@ class CircuitOpenError(InvocationError):
 
 class ConfigError(ReproError):
     """Invalid experiment or component configuration."""
+
+
+class ExperimentLookupError(ConfigError):
+    """An experiment id or scale profile is not in the registry.
+
+    Raised by :class:`repro.experiments.base.ExperimentRegistry` lookups
+    and by profile resolution on an :class:`ExperimentSpec`; the message
+    always names the known alternatives so CLI callers can surface them.
+    """

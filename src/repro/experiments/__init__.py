@@ -8,10 +8,18 @@ regenerates everything; the functions below are importable directly for
 programmatic use.
 """
 
-from repro.experiments.base import ExperimentResult, registry
+from repro.experiments.base import (
+    ExperimentRegistry,
+    ExperimentResult,
+    ExperimentSpec,
+    registry,
+)
 
 __all__ = [
+    "ExperimentRegistry",
     "ExperimentResult",
+    "ExperimentSpec",
+    "load_all",
     "registry",
     "run_ablations",
     "run_autoao",
@@ -45,6 +53,43 @@ _LAZY = {
     "run_sensitivity": "repro.experiments.sensitivity",
     "run_codesize": "repro.experiments.codesize",
 }
+
+#: Every module that registers specs, in display order (``all`` runs
+#: and ``--list`` follow registration order).
+EXPERIMENT_MODULES = (
+    "repro.experiments.table1",
+    "repro.experiments.table2",
+    "repro.experiments.table3",
+    "repro.experiments.figure4",
+    "repro.experiments.figure5",
+    "repro.experiments.bursts",
+    "repro.experiments.extensions",
+    "repro.experiments.sensitivity",
+    "repro.experiments.codesize",
+    "repro.experiments.chaos",
+)
+
+
+def load_all() -> ExperimentRegistry:
+    """Import every experiment module and return the populated registry.
+
+    Idempotent (modules register identical specs on re-import), and
+    safe to call from suite worker processes.
+    """
+    import importlib
+
+    for module in EXPERIMENT_MODULES:
+        importlib.import_module(module)
+    # Display order must not depend on who imported an experiment module
+    # first: canonicalize to EXPERIMENT_MODULES order (stable within a
+    # module, unknown modules last).
+    module_order = {name: i for i, name in enumerate(EXPERIMENT_MODULES)}
+    registry.sort(
+        key=lambda spec: module_order.get(
+            getattr(spec.entry, "__module__", ""), len(module_order)
+        )
+    )
+    return registry
 
 
 def __getattr__(name):

@@ -1,10 +1,29 @@
-"""Common experiment plumbing."""
+"""Common experiment plumbing: results, declarative specs, registry.
+
+An experiment module defines one ``run_*`` entry point per table/figure
+and registers an :class:`ExperimentSpec` describing it: the id, the
+entry point, the named scale profiles (``full``/``quick``/``smoke``),
+the default seed and the tags.  The module-level :data:`registry` is
+the single source of truth the CLI, the parallel suite executor and the
+tests all resolve experiments through.
+"""
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
+from repro.errors import ConfigError, ExperimentLookupError
 from repro.metrics.reporter import format_table
 
 
@@ -44,6 +63,195 @@ class ExperimentResult:
         return self.to_text()
 
 
-#: Experiment-id -> zero-argument callable returning results.  Filled by
-#: :mod:`repro.experiments.runner`.
-registry: Dict[str, Callable[..., List[ExperimentResult]]] = {}
+#: Scale-profile fallback chain: a spec that does not declare the
+#: requested profile runs the next-larger one (``smoke`` -> ``quick``
+#: -> ``full``); ``full`` itself defaults to the entry point's own
+#: defaults (empty kwargs).
+PROFILE_FALLBACK: Dict[str, str] = {"smoke": "quick", "quick": "full"}
+
+#: The canonical profile names, largest scale first.
+KNOWN_PROFILES: Tuple[str, ...] = ("full", "quick", "smoke")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one reproducible table/figure.
+
+    ``entry`` is the module-level ``run_*`` callable returning a single
+    :class:`ExperimentResult`; ``profiles`` maps a scale-profile name to
+    the keyword arguments that entry point is called with at that scale.
+    """
+
+    experiment_id: str
+    title: str
+    entry: Callable[..., ExperimentResult]
+    profiles: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+    default_seed: Optional[int] = None
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.experiment_id:
+            raise ConfigError("experiment_id must be non-empty")
+        if not callable(self.entry):
+            raise ConfigError(
+                f"{self.experiment_id}: entry must be callable, "
+                f"got {type(self.entry).__name__}"
+            )
+        # Normalize to plain (hash-stable, copied) containers so frozen
+        # specs cannot be mutated through shared references.
+        object.__setattr__(
+            self,
+            "profiles",
+            {name: dict(kwargs) for name, kwargs in self.profiles.items()},
+        )
+        object.__setattr__(self, "tags", tuple(self.tags))
+        for name in self.profiles:
+            if name not in KNOWN_PROFILES:
+                raise ConfigError(
+                    f"{self.experiment_id}: unknown profile {name!r}; "
+                    f"known profiles: {list(KNOWN_PROFILES)}"
+                )
+
+    @property
+    def profile_names(self) -> Tuple[str, ...]:
+        """Declared + implied profiles, largest scale first."""
+        return tuple(
+            name
+            for name in KNOWN_PROFILES
+            if name == "full" or name in self.profiles
+        )
+
+    def resolve_profile(self, name: str) -> Tuple[str, Dict[str, object]]:
+        """(resolved profile name, entry kwargs) for ``name``.
+
+        Walks the fallback chain for undeclared profiles; ``full``
+        always resolves (to the entry point's defaults).
+        """
+        if name not in KNOWN_PROFILES:
+            raise ExperimentLookupError(
+                f"{self.experiment_id}: unknown profile {name!r}; "
+                f"known profiles: {list(KNOWN_PROFILES)}"
+            )
+        while name not in self.profiles and name != "full":
+            name = PROFILE_FALLBACK[name]
+        return name, dict(self.profiles.get(name, {}))
+
+    def accepts_seed(self) -> bool:
+        """Whether the entry point takes a ``seed`` keyword."""
+        try:
+            parameters = inspect.signature(self.entry).parameters
+        except (TypeError, ValueError):  # builtins, odd callables
+            return False
+        if "seed" in parameters:
+            return True
+        return any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in parameters.values()
+        )
+
+    def run(
+        self,
+        profile: str = "full",
+        seed: Optional[int] = None,
+        **overrides: object,
+    ) -> ExperimentResult:
+        """Run the entry point at ``profile`` scale.
+
+        ``seed`` (or, failing that, :attr:`default_seed`) is forwarded
+        only when the entry point accepts one, so seed-less experiments
+        stay byte-identical regardless of suite seeding.
+        """
+        _, kwargs = self.resolve_profile(profile)
+        kwargs.update(overrides)
+        effective_seed = seed if seed is not None else self.default_seed
+        if effective_seed is not None and self.accepts_seed():
+            kwargs.setdefault("seed", effective_seed)
+        result = self.entry(**kwargs)
+        if not isinstance(result, ExperimentResult):
+            raise ConfigError(
+                f"{self.experiment_id}: entry returned "
+                f"{type(result).__name__}, expected ExperimentResult"
+            )
+        return result
+
+
+class ExperimentRegistry:
+    """Typed experiment registry: id -> :class:`ExperimentSpec`.
+
+    Registration order is display order (``seuss-repro --list``, the
+    ``all`` expansion).  Re-registering an identical spec is a no-op so
+    repeated :func:`repro.experiments.load_all` calls — including from
+    suite worker processes — stay idempotent; conflicting ids fail loud.
+    """
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ExperimentSpec] = {}
+
+    def register(self, spec: ExperimentSpec) -> ExperimentSpec:
+        existing = self._specs.get(spec.experiment_id)
+        if existing is not None:
+            if existing == spec:
+                return existing
+            raise ConfigError(
+                f"experiment {spec.experiment_id!r} already registered "
+                "with a different spec"
+            )
+        self._specs[spec.experiment_id] = spec
+        return spec
+
+    def get(self, experiment_id: str) -> ExperimentSpec:
+        try:
+            return self._specs[experiment_id]
+        except KeyError:
+            raise ExperimentLookupError(
+                f"unknown experiment {experiment_id!r}; "
+                f"known: {sorted(self._specs)}"
+            ) from None
+
+    def ids(self) -> List[str]:
+        return list(self._specs)
+
+    def specs(self) -> List[ExperimentSpec]:
+        return list(self._specs.values())
+
+    def select(
+        self,
+        names: Optional[Sequence[str]] = None,
+        tags: Optional[Sequence[str]] = None,
+    ) -> List[ExperimentSpec]:
+        """Specs matching ``names`` (``all``/empty = everything) that
+        carry every tag in ``tags``, in registration order."""
+        if not names or "all" in names:
+            chosen = self.specs()
+        else:
+            chosen = [self.get(name) for name in names]
+        if tags:
+            chosen = [
+                spec
+                for spec in chosen
+                if all(tag in spec.tags for tag in tags)
+            ]
+        return chosen
+
+    def sort(self, key: Callable[[ExperimentSpec], object]) -> None:
+        """Stable-reorder the registry (and thus display order) by ``key``."""
+        ordered = sorted(self._specs.values(), key=key)
+        self._specs = {spec.experiment_id: spec for spec in ordered}
+
+    def clear(self) -> None:
+        self._specs.clear()
+
+    def __contains__(self, experiment_id: object) -> bool:
+        return experiment_id in self._specs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+#: The process-wide experiment registry.  Experiment modules register
+#: their spec at import time; :func:`repro.experiments.load_all`
+#: imports every module and returns this fully populated.
+registry = ExperimentRegistry()

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, ExperimentSpec, registry
 from repro.faas.cluster import FaasCluster
 from repro.linuxnode.config import LinuxNodeConfig
 from repro.metrics.stats import percentile
@@ -39,11 +39,16 @@ LINUX_BURST_CONFIG = LinuxNodeConfig(stemcell_pool_size=256)
 DEFAULT_BURST_COUNTS = {32: 8, 16: 12, 8: 16}
 
 
+#: Seed of :class:`BurstConfig`'s arrival schedule.
+DEFAULT_SEED = 0xB0257
+
+
 def run_burst_scenario(
     interval_s: int,
     backend: str,
     burst_count: Optional[int] = None,
     burst_size: int = 128,
+    seed: int = DEFAULT_SEED,
 ) -> BurstResult:
     """One full burst run on one backend.
 
@@ -70,6 +75,7 @@ def run_burst_scenario(
         burst_interval_ms=interval_s * 1000.0,
         burst_count=burst_count or DEFAULT_BURST_COUNTS.get(interval_s, 8),
         burst_size=burst_size,
+        seed=seed,
     )
     result = BurstWorkload(config).run(cluster)
     monitor.stop()
@@ -93,6 +99,7 @@ def run_burst_figure(
     interval_s: int,
     burst_count: Optional[int] = None,
     burst_size: int = 128,
+    seed: int = DEFAULT_SEED,
 ) -> ExperimentResult:
     """Reproduce one of Figures 6-8 (both backends)."""
     figure = FIGURE_FOR_INTERVAL_S.get(interval_s, f"burst-{interval_s}s")
@@ -111,7 +118,9 @@ def run_burst_figure(
     )
     runs: Dict[str, BurstResult] = {}
     for backend in ("linux", "seuss"):
-        run = run_burst_scenario(interval_s, backend, burst_count, burst_size)
+        run = run_burst_scenario(
+            interval_s, backend, burst_count, burst_size, seed
+        )
         runs[backend] = run
         summary = _summarize(run)
         result.add_row(
@@ -163,3 +172,25 @@ def run_figure7(**kwargs) -> ExperimentResult:
 
 def run_figure8(**kwargs) -> ExperimentResult:
     return run_burst_figure(8, **kwargs)
+
+
+def _burst_spec(
+    figure: str, interval_s: int, quick_bursts: int, smoke_bursts: int
+) -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id=figure,
+        title=f"Request burst sent every {interval_s} seconds",
+        entry={"figure6": run_figure6, "figure7": run_figure7, "figure8": run_figure8}[figure],
+        profiles={
+            "full": {},
+            "quick": {"burst_count": quick_bursts},
+            "smoke": {"burst_count": smoke_bursts, "burst_size": 32},
+        },
+        default_seed=DEFAULT_SEED,
+        tags=("paper", "figure", "burst", "slow"),
+    )
+
+
+FIGURE6_SPEC = registry.register(_burst_spec("figure6", 32, 6, 3))
+FIGURE7_SPEC = registry.register(_burst_spec("figure7", 16, 8, 3))
+FIGURE8_SPEC = registry.register(_burst_spec("figure8", 8, 10, 4))

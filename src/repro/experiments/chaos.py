@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, ExperimentSpec, registry
 from repro.faas.cluster import FaasCluster
 from repro.faas.controller import RetryPolicy
 from repro.faas.health import BreakerPolicy
@@ -167,3 +167,19 @@ def run_chaos(
         f"{BASE_PLAN.bus_redeliver_ms}ms"
     )
     return result
+
+
+SPEC = registry.register(
+    ExperimentSpec(
+        experiment_id="chaos",
+        title="Resilience under injected faults (fault-rate sweep)",
+        entry=run_chaos,
+        profiles={
+            "full": {},
+            "quick": {"scales": (0.0, 1.0), "invocations": 300},
+            "smoke": {"scales": (1.0,), "invocations": 100},
+        },
+        default_seed=0xC405,
+        tags=("extension", "chaos", "slow"),
+    )
+)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, ExperimentSpec, registry
 from repro.faas.records import FunctionSpec
 from repro.seuss.node import SeussNode
 from repro.sim import Environment
@@ -68,3 +68,18 @@ def run_codesize(code_sizes_kb: Sequence[float] = DEFAULT_CODE_KB) -> Experiment
         "nothing — 'making warm and hot starts even more beneficial' (§7)"
     )
     return result
+
+
+SPEC = registry.register(
+    ExperimentSpec(
+        experiment_id="codesize",
+        title="Invocation latency vs. function code size",
+        entry=run_codesize,
+        profiles={
+            "full": {},
+            "quick": {"code_sizes_kb": (0.1, 100.0)},
+            "smoke": {"code_sizes_kb": (0.1, 10.0)},
+        },
+        tags=("extension",),
+    )
+)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.distributed.cluster import DistributedSeussCluster
 from repro.distributed.transfer import TransferStrategy
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, ExperimentSpec, registry
 from repro.linuxnode.instances import InstanceKind
 from repro.linuxnode.ksm import KsmDaemon
 from repro.linuxnode.node import LinuxNode
@@ -219,3 +219,52 @@ def run_ksm_contrast(containers: int = 200) -> ExperimentResult:
         f"{containers} containers at ~25k pages/s"
     )
     return result
+
+
+ABLATIONS_SPEC = registry.register(
+    ExperimentSpec(
+        experiment_id="ablations",
+        title="Design-choice ablations",
+        entry=run_ablations,
+        profiles={"full": {}},
+        tags=("extension",),
+    )
+)
+
+DISTRIBUTED_SPEC = registry.register(
+    ExperimentSpec(
+        experiment_id="distributed",
+        title="DR-SEUSS: the distributed remote-warm path",
+        entry=run_distributed,
+        profiles={"full": {}},
+        tags=("extension", "distributed"),
+    )
+)
+
+KSM_SPEC = registry.register(
+    ExperimentSpec(
+        experiment_id="ksm",
+        title="KSM retroactive dedup vs SEUSS snapshot sharing",
+        entry=run_ksm_contrast,
+        profiles={
+            "full": {},
+            "quick": {"containers": 60},
+            "smoke": {"containers": 20},
+        },
+        tags=("extension",),
+    )
+)
+
+AUTOAO_SPEC = registry.register(
+    ExperimentSpec(
+        experiment_id="autoao",
+        title="Automatic AO discovery (profile -> propose -> apply)",
+        entry=run_autoao,
+        profiles={
+            "full": {},
+            "quick": {"samples": 3},
+            "smoke": {"samples": 2},
+        },
+        tags=("extension",),
+    )
+)

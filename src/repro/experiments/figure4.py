@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, ExperimentSpec, registry
 from repro.faas.cluster import FaasCluster
 from repro.sim import Environment
 from repro.workload.functions import unique_nop_set
@@ -25,6 +25,7 @@ from repro.workload.generator import run_trial
 DEFAULT_SET_SIZES = (64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536)
 DEFAULT_WORKERS = 32
 DEFAULT_INVOCATIONS = 4000
+DEFAULT_SEED = 0xF16_4
 #: Fraction of each trial discarded as warmup when reading throughput.
 STEADY_WARMUP_FRACTION = 0.5
 
@@ -51,7 +52,7 @@ def measure_point(
     backend: str,
     invocations: int = DEFAULT_INVOCATIONS,
     workers: int = DEFAULT_WORKERS,
-    seed: int = 0xF16_4,
+    seed: int = DEFAULT_SEED,
 ) -> Dict[str, float]:
     """One trial: throughput and error rate for one backend."""
     env = Environment()
@@ -75,6 +76,7 @@ def run_figure4(
     set_sizes: Sequence[int] = DEFAULT_SET_SIZES,
     invocations: int = DEFAULT_INVOCATIONS,
     workers: int = DEFAULT_WORKERS,
+    seed: int = DEFAULT_SEED,
 ) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="figure4",
@@ -89,8 +91,8 @@ def run_figure4(
     )
     points: List[ThroughputPoint] = []
     for set_size in set_sizes:
-        linux = measure_point(set_size, "linux", invocations, workers)
-        seuss = measure_point(set_size, "seuss", invocations, workers)
+        linux = measure_point(set_size, "linux", invocations, workers, seed)
+        seuss = measure_point(set_size, "seuss", invocations, workers, seed)
         point = ThroughputPoint(
             set_size=set_size,
             linux_rps=linux["rps"],
@@ -129,3 +131,19 @@ def run_figure4(
     )
     result.raw["points"] = points
     return result
+
+
+SPEC = registry.register(
+    ExperimentSpec(
+        experiment_id="figure4",
+        title="OpenWhisk platform throughput vs. unique-function set size",
+        entry=run_figure4,
+        profiles={
+            "full": {},
+            "quick": {"set_sizes": (64, 1024, 65536), "invocations": 1500},
+            "smoke": {"set_sizes": (64, 1024), "invocations": 400},
+        },
+        default_seed=DEFAULT_SEED,
+        tags=("paper", "figure", "slow"),
+    )
+)

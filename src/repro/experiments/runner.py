@@ -2,94 +2,80 @@
 
 Usage::
 
-    seuss-repro all            # everything, full scale
-    seuss-repro table1 table3  # selected experiments
-    seuss-repro all --quick    # reduced scale (CI-sized)
+    seuss-repro all                      # everything, full scale
+    seuss-repro table1 table3            # selected experiments
+    seuss-repro all --quick              # reduced scale (CI-sized)
+    seuss-repro all --quick --parallel 4 # same tables, 4 worker procs
+    seuss-repro --list                   # registered specs + profiles
+    seuss-repro all --profile smoke      # smallest scale of everything
 
-Each experiment prints a paper-vs-measured table; EXPERIMENTS.md is the
-curated record of a full run.
+Experiments are resolved through the declarative spec registry
+(:mod:`repro.experiments.base`) and executed by the suite executor
+(:mod:`repro.experiments.suite`); a parallel run prints byte-identical
+experiment tables to a serial run of the same selection.  Progress
+lines go to stderr; tables and per-experiment completion lines go to
+stdout.  Each experiment prints a paper-vs-measured table;
+EXPERIMENTS.md is the curated record of a full run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
-from typing import Callable, Dict, List
+from typing import List, Optional
 
-from repro.experiments.base import ExperimentResult, registry
-from repro.experiments.bursts import run_figure6, run_figure7, run_figure8
-from repro.experiments.chaos import run_chaos
-from repro.experiments.extensions import (
-    run_ablations,
-    run_autoao,
-    run_distributed,
-    run_ksm_contrast,
+from repro.experiments import load_all
+from repro.experiments.base import (
+    ExperimentRegistry,
+    ExperimentSpec,
+    KNOWN_PROFILES,
 )
-from repro.experiments.codesize import run_codesize
-from repro.experiments.figure4 import run_figure4
-from repro.experiments.sensitivity import run_sensitivity
-from repro.experiments.figure5 import run_figure5
-from repro.experiments.table1 import run_table1
-from repro.experiments.table2 import run_table2
-from repro.experiments.table3 import run_table3
+from repro.experiments.suite import ExperimentOutcome, run_suite
+from repro.metrics.reporter import format_table
 
 
-def _full() -> Dict[str, Callable[[], ExperimentResult]]:
-    return {
-        "table1": lambda: run_table1(),
-        "table2": lambda: run_table2(),
-        "table3": lambda: run_table3(),
-        "figure4": lambda: run_figure4(),
-        "figure5": lambda: run_figure5(),
-        "figure6": lambda: run_figure6(),
-        "figure7": lambda: run_figure7(),
-        "figure8": lambda: run_figure8(),
-        # Extensions beyond the paper's evaluation.
-        "ablations": run_ablations,
-        "distributed": run_distributed,
-        "ksm": lambda: run_ksm_contrast(),
-        "autoao": lambda: run_autoao(),
-        "sensitivity": lambda: run_sensitivity(),
-        "codesize": lambda: run_codesize(),
-        "chaos": lambda: run_chaos(),
-    }
+def _spec_listing(registry: ExperimentRegistry) -> str:
+    """The ``--list`` table: one row per registered spec."""
+    rows = []
+    for spec in registry.specs():
+        rows.append(
+            [
+                spec.experiment_id,
+                spec.title,
+                "/".join(spec.profile_names),
+                hex(spec.default_seed) if spec.default_seed is not None else "-",
+                ",".join(spec.tags) or "-",
+            ]
+        )
+    return format_table(
+        ["experiment", "title", "profiles", "seed", "tags"], rows
+    )
 
 
-def _quick() -> Dict[str, Callable[[], ExperimentResult]]:
-    return {
-        "table1": lambda: run_table1(invocations=50),
-        "table2": lambda: run_table2(invocations=10),
-        "table3": lambda: run_table3(
-            density_limit=6000,
-            rate_targets={
-                "microvm": 64,
-                "container": 400,
-                "process": 1000,
-                "seuss_uc": 4000,
-            },
-        ),
-        "figure4": lambda: run_figure4(
-            set_sizes=(64, 1024, 65536), invocations=1500
-        ),
-        "figure5": lambda: run_figure5(invocations=1500),
-        "figure6": lambda: run_figure6(burst_count=6),
-        "figure7": lambda: run_figure7(burst_count=8),
-        "figure8": lambda: run_figure8(burst_count=10),
-        "ablations": run_ablations,
-        "distributed": run_distributed,
-        "ksm": lambda: run_ksm_contrast(containers=60),
-        "autoao": lambda: run_autoao(samples=3),
-        "sensitivity": lambda: run_sensitivity(scales=(1.0, 2.0)),
-        "codesize": lambda: run_codesize(code_sizes_kb=(0.1, 100.0)),
-        "chaos": lambda: run_chaos(scales=(0.0, 1.0), invocations=300),
-    }
+def _print_outcome(outcome: ExperimentOutcome, plot: bool) -> None:
+    """Emit one experiment's stdout block (table, plots, timing)."""
+    if outcome.ok:
+        print(outcome.text)
+        if plot and outcome.result is not None and "runs" in outcome.result.raw:
+            from repro.metrics.ascii_plot import burst_figure
+
+            for backend, run in outcome.result.raw["runs"].items():
+                print()
+                print(
+                    burst_figure(
+                        run, title=f"{outcome.result.title} — {backend}"
+                    )
+                )
+        print(f"[{outcome.experiment_id} completed in {outcome.duration_s:.1f}s]")
+    else:
+        print(outcome.error, file=sys.stderr)
+        print(
+            f"[{outcome.experiment_id} FAILED after {outcome.duration_s:.1f}s]"
+        )
+    print()
 
 
-registry.update(_full())
-
-
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="seuss-repro",
         description="Reproduce the tables and figures of SEUSS (EuroSys'20)",
@@ -98,50 +84,114 @@ def main(argv: List[str] = None) -> int:
         "experiments",
         nargs="*",
         default=["all"],
-        help="experiment ids (table1..table3, figure4..figure8) or 'all'",
+        help="experiment ids (table1..table3, figure4..figure8, ...) or 'all'",
     )
     parser.add_argument(
-        "--quick", action="store_true", help="reduced-scale run (seconds, not minutes)"
+        "--quick",
+        action="store_true",
+        help="shorthand for --profile quick (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=list(KNOWN_PROFILES),
+        default=None,
+        help="scale profile; specs without the profile fall back to the "
+        "next larger one (smoke -> quick -> full)",
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N experiments concurrently in worker processes "
+        "(tables still print in selection order, byte-identical to a "
+        "serial run)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="suite seed; each experiment derives its own deterministic "
+        "seed from it (default: every experiment's registered seed)",
+    )
+    parser.add_argument(
+        "--tag",
+        action="append",
+        default=None,
+        metavar="TAG",
+        help="keep only experiments carrying TAG (repeatable, AND)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the registered experiment specs and exit",
     )
     parser.add_argument(
         "--plot",
         action="store_true",
-        help="render the burst figures (6-8) as ASCII scatter plots",
+        help="render the burst figures (6-8) as ASCII scatter plots "
+        "(serial runs only)",
     )
     parser.add_argument(
         "--json",
         metavar="FILE",
-        help="also write the experiment tables to FILE as JSON",
+        help="also write the suite artifact (tables + run metadata) to "
+        "FILE as schema-versioned JSON",
     )
     args = parser.parse_args(argv)
 
-    suite = _quick() if args.quick else _full()
-    wanted = args.experiments
-    if not wanted or "all" in wanted:
-        wanted = list(suite)
-    unknown = [name for name in wanted if name not in suite]
+    registry = load_all()
+    if args.list:
+        print(_spec_listing(registry))
+        return 0
+
+    if args.quick and args.profile not in (None, "quick"):
+        parser.error("--quick conflicts with --profile " + args.profile)
+    profile = args.profile or ("quick" if args.quick else "full")
+    if args.parallel < 1:
+        parser.error("--parallel must be >= 1")
+    if args.plot and args.parallel > 1:
+        parser.error("--plot needs the in-process results of a serial run; "
+                     "drop --parallel")
+
+    wanted = args.experiments or ["all"]
+    known = set(registry.ids())
+    unknown = [
+        name for name in wanted if name != "all" and name not in known
+    ]
     if unknown:
-        parser.error(f"unknown experiments: {unknown}; known: {sorted(suite)}")
+        parser.error(
+            f"unknown experiments: {unknown}; known: {sorted(known)}"
+        )
+    specs: List[ExperimentSpec] = registry.select(wanted, tags=args.tag)
+    if not specs:
+        parser.error("selection matched no experiments")
 
-    completed: List[ExperimentResult] = []
-    for name in wanted:
-        started = time.time()
-        result = suite[name]()
-        completed.append(result)
-        print(result.to_text())
-        if args.plot and "runs" in result.raw:
-            from repro.metrics.ascii_plot import burst_figure
+    suite = run_suite(
+        [spec.experiment_id for spec in specs],
+        profile=profile,
+        parallel=args.parallel,
+        seed=args.seed,
+        registry=registry,
+        progress=lambda line: print(line, file=sys.stderr),
+        on_outcome=lambda outcome: _print_outcome(outcome, args.plot),
+    )
 
-            for backend, run in result.raw["runs"].items():
-                print()
-                print(burst_figure(run, title=f"{result.title} — {backend}"))
-        print(f"[{name} completed in {time.time() - started:.1f}s]")
-        print()
     if args.json:
-        from repro.metrics.export import write_experiments_json
+        from repro.metrics.export import write_suite_json
 
-        write_experiments_json(args.json, completed)
-        print(f"wrote {len(completed)} experiment tables to {args.json}")
+        write_suite_json(args.json, suite)
+        print(
+            f"wrote {len(suite.outcomes)} experiment tables to {args.json}"
+        )
+    if suite.failed:
+        failed = ", ".join(outcome.experiment_id for outcome in suite.failed)
+        print(
+            f"[suite] {len(suite.failed)}/{len(suite.outcomes)} experiments "
+            f"failed: {failed}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

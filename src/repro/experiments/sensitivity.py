@@ -22,7 +22,7 @@ import dataclasses
 from typing import Callable, Dict, List, Sequence
 
 from repro.costs import CostBook, DEFAULT_COSTS
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, ExperimentSpec, registry
 from repro.errors import ConfigError
 
 #: A metric: CostBook -> float.
@@ -138,3 +138,18 @@ def run_sensitivity(
         "limits SEUSS throughput"
     )
     return result
+
+
+SPEC = registry.register(
+    ExperimentSpec(
+        experiment_id="sensitivity",
+        title="Cost-model sensitivity of the headline results",
+        entry=run_sensitivity,
+        profiles={
+            "full": {},
+            "quick": {"scales": (1.0, 2.0)},
+            "smoke": {"scales": (1.0, 2.0)},
+        },
+        tags=("extension", "analysis"),
+    )
+)

@@ -1,0 +1,285 @@
+"""Parallel suite executor for registered experiment specs.
+
+Experiments are independent simulations (each builds its own
+:class:`~repro.sim.Environment` and seeds its own RNGs), so a suite is
+embarrassingly parallel across *processes*.  :func:`run_suite` executes
+a selection of registered specs either serially in-process or across a
+:class:`~concurrent.futures.ProcessPoolExecutor`, with:
+
+* per-experiment deterministic seeds (derived from the suite seed and
+  the experiment id, so adding/removing experiments never reshuffles
+  another experiment's seed);
+* per-experiment wall-clock timing and failure capture — a crashing
+  experiment becomes a reported :class:`ExperimentOutcome`, it does not
+  kill the run;
+* structured ``[suite] ...`` progress lines via the ``progress``
+  callback;
+* in-order result streaming via the ``on_outcome`` callback, so a
+  parallel run prints tables in exactly the serial order (the
+  byte-identical guarantee the CLI relies on).
+
+Workers return only picklable payloads (rendered text + the JSON table
+dict), never ``ExperimentResult`` objects, whose ``raw`` attachments
+hold live simulation state.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+import zlib
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.base import (
+    ExperimentRegistry,
+    ExperimentResult,
+    ExperimentSpec,
+)
+from repro.metrics.export import experiment_to_dict
+
+ProgressFn = Callable[[str], None]
+
+
+def derive_seed(suite_seed: int, experiment_id: str) -> int:
+    """Deterministic per-experiment seed from one suite-level seed."""
+    digest = zlib.crc32(f"{suite_seed}:{experiment_id}".encode("utf-8"))
+    return digest & 0x7FFFFFFF
+
+
+@dataclass
+class ExperimentOutcome:
+    """What one experiment produced (or how it failed)."""
+
+    experiment_id: str
+    profile: str
+    seed: Optional[int]
+    ok: bool
+    duration_s: float
+    text: Optional[str] = None
+    table: Optional[dict] = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    #: The live result object; only populated on serial in-process runs.
+    result: Optional[ExperimentResult] = None
+
+
+@dataclass
+class SuiteResult:
+    """One suite run: ordered outcomes plus run-level accounting."""
+
+    profile: str
+    parallel: int
+    seed: Optional[int]
+    outcomes: List[ExperimentOutcome] = field(default_factory=list)
+    wall_clock_s: float = 0.0
+
+    @property
+    def failed(self) -> List[ExperimentOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    def to_dict(self) -> dict:
+        """Schema-versioned JSON payload (see metrics/export.py)."""
+        from repro.metrics.export import SCHEMA_VERSION
+
+        experiments = []
+        for outcome in self.outcomes:
+            entry = dict(outcome.table or {"experiment_id": outcome.experiment_id})
+            entry.update(
+                {
+                    "status": "ok" if outcome.ok else "error",
+                    "profile": outcome.profile,
+                    "seed": outcome.seed,
+                    "duration_s": round(outcome.duration_s, 3),
+                }
+            )
+            if outcome.error is not None:
+                entry["error"] = outcome.error
+                entry["error_type"] = outcome.error_type
+            experiments.append(entry)
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": "seuss-repro-suite",
+            "profile": self.profile,
+            "parallel": self.parallel,
+            "seed": self.seed,
+            "wall_clock_s": round(self.wall_clock_s, 3),
+            "experiments": experiments,
+        }
+
+
+def _execute(
+    spec: ExperimentSpec, profile: str, seed: Optional[int], keep_result: bool
+) -> ExperimentOutcome:
+    """Run one spec, capturing failure instead of propagating it."""
+    resolved, _ = spec.resolve_profile(profile)
+    started = time.perf_counter()
+    try:
+        result = spec.run(profile=profile, seed=seed)
+    except Exception:
+        return ExperimentOutcome(
+            experiment_id=spec.experiment_id,
+            profile=resolved,
+            seed=seed,
+            ok=False,
+            duration_s=time.perf_counter() - started,
+            error=traceback.format_exc(),
+            error_type=traceback.format_exc().strip().splitlines()[-1],
+        )
+    return ExperimentOutcome(
+        experiment_id=spec.experiment_id,
+        profile=resolved,
+        seed=seed,
+        ok=True,
+        duration_s=time.perf_counter() - started,
+        text=result.to_text(),
+        table=experiment_to_dict(result),
+        result=result if keep_result else None,
+    )
+
+
+def _worker(experiment_id: str, profile: str, seed: Optional[int]) -> ExperimentOutcome:
+    """Subprocess entry point: resolve the spec from a fresh registry.
+
+    Importing (rather than pickling) the spec keeps workers correct
+    under both fork and spawn start methods.
+    """
+    from repro.experiments import load_all
+
+    spec = load_all().get(experiment_id)
+    return _execute(spec, profile, seed, keep_result=False)
+
+
+def seed_for(spec: ExperimentSpec, suite_seed: Optional[int]) -> Optional[int]:
+    """The seed this suite run passes to ``spec`` (None = don't pass)."""
+    if not spec.accepts_seed():
+        return None
+    if suite_seed is None:
+        return spec.default_seed
+    return derive_seed(suite_seed, spec.experiment_id)
+
+
+def run_suite(
+    experiment_ids: Sequence[str],
+    profile: str = "full",
+    parallel: int = 1,
+    seed: Optional[int] = None,
+    registry: Optional[ExperimentRegistry] = None,
+    progress: Optional[ProgressFn] = None,
+    on_outcome: Optional[Callable[[ExperimentOutcome], None]] = None,
+) -> SuiteResult:
+    """Run ``experiment_ids`` at ``profile`` scale, ``parallel`` wide.
+
+    Outcomes are returned — and streamed to ``on_outcome`` — in the
+    order the ids were given, regardless of completion order, so serial
+    and parallel runs emit identical table sequences.
+    """
+    if registry is None:
+        from repro.experiments import load_all
+
+        registry = load_all()
+    if parallel < 1:
+        raise ValueError(f"parallel must be >= 1, got {parallel}")
+    specs = [registry.get(experiment_id) for experiment_id in experiment_ids]
+    seeds = {spec.experiment_id: seed_for(spec, seed) for spec in specs}
+    emit = progress or (lambda line: None)
+    deliver = on_outcome or (lambda outcome: None)
+
+    started = time.perf_counter()
+    outcomes: List[ExperimentOutcome] = []
+
+    def announce(spec: ExperimentSpec) -> None:
+        resolved, _ = spec.resolve_profile(profile)
+        spec_seed = seeds[spec.experiment_id]
+        seed_note = f", seed={spec_seed}" if spec_seed is not None else ""
+        emit(
+            f"[suite] start {spec.experiment_id} "
+            f"(profile={resolved}{seed_note})"
+        )
+
+    def report(outcome: ExperimentOutcome) -> None:
+        if outcome.ok:
+            emit(
+                f"[suite] done {outcome.experiment_id} "
+                f"in {outcome.duration_s:.1f}s"
+            )
+        else:
+            emit(
+                f"[suite] FAILED {outcome.experiment_id} "
+                f"after {outcome.duration_s:.1f}s: {outcome.error_type}"
+            )
+
+    if parallel == 1 or len(specs) <= 1:
+        for spec in specs:
+            announce(spec)
+            outcome = _execute(
+                spec, profile, seeds[spec.experiment_id], keep_result=True
+            )
+            report(outcome)
+            outcomes.append(outcome)
+            deliver(outcome)
+    else:
+        outcomes = _run_parallel(
+            specs, profile, seeds, parallel, announce, report, deliver
+        )
+
+    return SuiteResult(
+        profile=profile,
+        parallel=parallel,
+        seed=seed,
+        outcomes=outcomes,
+        wall_clock_s=time.perf_counter() - started,
+    )
+
+
+def _run_parallel(
+    specs: Sequence[ExperimentSpec],
+    profile: str,
+    seeds: Dict[str, Optional[int]],
+    parallel: int,
+    announce: Callable[[ExperimentSpec], None],
+    report: Callable[[ExperimentOutcome], None],
+    deliver: Callable[[ExperimentOutcome], None],
+) -> List[ExperimentOutcome]:
+    """Fan the specs across worker processes; stream results in order."""
+    slots: List[Optional[ExperimentOutcome]] = [None] * len(specs)
+    delivered = 0
+    with ProcessPoolExecutor(max_workers=min(parallel, len(specs))) as pool:
+        futures = {}
+        for index, spec in enumerate(specs):
+            announce(spec)
+            future = pool.submit(
+                _worker, spec.experiment_id, profile, seeds[spec.experiment_id]
+            )
+            futures[future] = index
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = futures[future]
+                spec = specs[index]
+                try:
+                    outcome = future.result()
+                except Exception:  # worker died (e.g. BrokenProcessPool)
+                    outcome = ExperimentOutcome(
+                        experiment_id=spec.experiment_id,
+                        profile=spec.resolve_profile(profile)[0],
+                        seed=seeds[spec.experiment_id],
+                        ok=False,
+                        duration_s=0.0,
+                        error=traceback.format_exc(),
+                        error_type=traceback.format_exc()
+                        .strip()
+                        .splitlines()[-1],
+                    )
+                report(outcome)
+                slots[index] = outcome
+            while delivered < len(slots) and slots[delivered] is not None:
+                deliver(slots[delivered])
+                delivered += 1
+    return [outcome for outcome in slots if outcome is not None]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, ExperimentSpec, registry
 from repro.faas.records import InvocationPath, NodeInvocation
 from repro.metrics.stats import mean
 from repro.seuss.config import AOLevel, SeussConfig
@@ -124,3 +124,18 @@ def run_table1(invocations: int = 475) -> ExperimentResult:
     )
     result.raw["samples"] = samples
     return result
+
+
+SPEC = registry.register(
+    ExperimentSpec(
+        experiment_id="table1",
+        title="SEUSS microbenchmarks (snapshot sizes, path latencies)",
+        entry=run_table1,
+        profiles={
+            "full": {},
+            "quick": {"invocations": 50},
+            "smoke": {"invocations": 5},
+        },
+        tags=("paper", "table"),
+    )
+)

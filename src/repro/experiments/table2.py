@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, ExperimentSpec, registry
 from repro.metrics.stats import mean
 from repro.seuss.config import AOLevel, SeussConfig
 from repro.seuss.node import SeussNode
@@ -73,3 +73,18 @@ def run_table2(invocations: int = 50) -> ExperimentResult:
         )
     result.raw["measured"] = measured
     return result
+
+
+SPEC = registry.register(
+    ExperimentSpec(
+        experiment_id="table2",
+        title="Latency improvements across anticipatory optimizations",
+        entry=run_table2,
+        profiles={
+            "full": {},
+            "quick": {"invocations": 10},
+            "smoke": {"invocations": 3},
+        },
+        tags=("paper", "table"),
+    )
+)

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Generator, Optional
 
 from repro.errors import OutOfMemoryError
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import ExperimentResult, ExperimentSpec, registry
 from repro.linuxnode.instances import InstanceKind
 from repro.linuxnode.node import LinuxNode
 from repro.seuss.node import SeussNode
@@ -173,3 +173,34 @@ def run_table3(
         )
     result.raw["measurements"] = measurements
     return result
+
+
+SPEC = registry.register(
+    ExperimentSpec(
+        experiment_id="table3",
+        title="Cache density limit and parallel creation rate",
+        entry=run_table3,
+        profiles={
+            "full": {},
+            "quick": {
+                "density_limit": 6000,
+                "rate_targets": {
+                    "microvm": 64,
+                    "container": 400,
+                    "process": 1000,
+                    "seuss_uc": 4000,
+                },
+            },
+            "smoke": {
+                "density_limit": 1500,
+                "rate_targets": {
+                    "microvm": 16,
+                    "container": 100,
+                    "process": 250,
+                    "seuss_uc": 1000,
+                },
+            },
+        },
+        tags=("paper", "table", "slow"),
+    )
+)

@@ -14,6 +14,13 @@ from typing import Iterable, Sequence
 from repro.experiments.base import ExperimentResult
 from repro.faas.records import InvocationResult
 
+#: Version of the experiment/suite JSON artifact schema.  Bump when a
+#: field changes meaning or is removed; additions are backwards
+#: compatible.  v1 was the bare ``{"experiments": [...]}`` document; v2
+#: adds ``schema_version`` and the suite-level run metadata
+#: (profile/parallel/seed/per-experiment status and timing).
+SCHEMA_VERSION = 2
+
 
 def write_results_csv(path: str, results: Iterable[InvocationResult]) -> int:
     """Write per-request samples (one row per invocation); returns rows."""
@@ -79,10 +86,23 @@ def write_experiments_json(
 ) -> None:
     """Write one JSON document holding several experiments' tables."""
     payload = {
-        "experiments": [experiment_to_dict(result) for result in results]
+        "schema_version": SCHEMA_VERSION,
+        "experiments": [experiment_to_dict(result) for result in results],
     }
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
+
+
+def write_suite_json(path: str, suite) -> None:
+    """Write a suite run's unified artifact.
+
+    ``suite`` is a :class:`repro.experiments.suite.SuiteResult` (duck
+    typed to avoid a circular import); the payload keeps the v1
+    ``experiments`` list shape and adds run metadata plus per-experiment
+    status, profile, seed and wall-clock.
+    """
+    with open(path, "w") as handle:
+        json.dump(suite.to_dict(), handle, indent=2)
 
 
 def _jsonable(value):

@@ -41,6 +41,96 @@ class TestCli:
         assert "snapshot stacks" in out
         assert "remote-warm" in out
 
+    def test_list_prints_registered_specs(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("table1", "figure8", "chaos"):
+            assert experiment_id in out
+        assert "full/quick/smoke" in out
+        assert "paper,table" in out
+
+    def test_smoke_profile(self, capsys):
+        assert main(["table2", "--profile", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "network+interpreter" in out
+
+    def test_quick_conflicts_with_other_profile(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--quick", "--profile", "full"])
+
+    def test_tag_filter(self, capsys):
+        assert main(["all", "--tag", "analysis", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "sensitivity" in out
+        assert "table1" not in out
+
+    def test_unmatched_tag_errors(self):
+        with pytest.raises(SystemExit):
+            main(["all", "--tag", "no-such-tag"])
+
+    def test_plot_conflicts_with_parallel(self):
+        with pytest.raises(SystemExit):
+            main(["figure6", "--quick", "--plot", "--parallel", "2"])
+
+    def test_invalid_parallel_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--quick", "--parallel", "0"])
+
+
+class TestCliParallel:
+    """--parallel N: worker processes, same stdout tables."""
+
+    IDS = ["table2", "codesize"]
+
+    def _tables(self, capsys, *flags):
+        assert main([*self.IDS, "--quick", *flags]) == 0
+        out = capsys.readouterr().out
+        # Strip the wall-clock lines; everything else must be stable.
+        return [
+            line
+            for line in out.splitlines()
+            if not line.startswith("[") or "completed in" not in line
+        ]
+
+    def test_parallel_run_completes(self, capsys):
+        assert main([*self.IDS, "--quick", "--parallel", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "table2" in captured.out and "codesize" in captured.out
+        assert "[suite] start table2" in captured.err
+        assert "[suite] done table2" in captured.err
+
+    def test_serial_and_parallel_stdout_identical(self, capsys):
+        serial = self._tables(capsys)
+        parallel = self._tables(capsys, "--parallel", "2")
+        assert serial == parallel
+
+    def test_parallel_json_artifact(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "suite.json"
+        assert main(
+            [*self.IDS, "--quick", "--parallel", "2", f"--json={path}"]
+        ) == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] >= 2
+        assert payload["parallel"] == 2
+        assert [e["experiment_id"] for e in payload["experiments"]] == self.IDS
+        assert all(e["status"] == "ok" for e in payload["experiments"])
+
+    def test_seed_flag_threads_through(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "seeded.json"
+        assert main(
+            ["figure5", "--profile", "smoke", "--seed", "42", f"--json={path}"]
+        ) == 0
+        payload = json.loads(path.read_text())
+        entry = payload["experiments"][0]
+        assert payload["seed"] == 42
+        from repro.experiments.suite import derive_seed
+
+        assert entry["seed"] == derive_seed(42, "figure5")
+
 
 class TestExtensionHarnesses:
     def test_ablations_shape(self):
