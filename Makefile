@@ -1,6 +1,6 @@
 # Development entry points.
 
-.PHONY: install test bench chaos repro repro-quick examples clean
+.PHONY: install test bench chaos repro repro-quick trace examples clean
 
 install:
 	pip install -e .
@@ -29,6 +29,12 @@ repro:
 repro-quick:
 	python -m repro.experiments.runner all --quick --parallel 4
 
+# Traced §7 stage-decomposition run; open trace-latency.json in Perfetto
+# (https://ui.perfetto.dev).
+trace:
+	python -m repro.experiments.runner latency --profile smoke \
+		--trace trace-latency.json
+
 examples:
 	@for example in examples/*.py; do \
 		echo "== $$example"; \
@@ -37,5 +43,5 @@ examples:
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis \
-		.bench-micro.json
+		.bench-micro.json trace-latency.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

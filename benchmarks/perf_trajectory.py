@@ -8,7 +8,9 @@ artifact records, for trend tracking across PRs:
   speedup column is the executor's contribution on this host);
 * engine microbenchmarks — ingested from pytest-benchmark's JSON
   (``--benchmark-json``) when available, so the simulator's hot-path
-  numbers ride along in the same file.
+  numbers ride along in the same file;
+* tracing overhead — the same hot-invocation loop with the tracer off
+  and on, so the zero-perturbation layer's wall-clock cost is tracked.
 
 Usage::
 
@@ -57,6 +59,54 @@ def measure_suite(profile: str, parallel: int) -> dict:
     }
 
 
+def measure_tracing_overhead(invocations: int = 2000) -> dict:
+    """Hot-invocation loop wall-clock with tracing off vs on.
+
+    Simulated results are identical either way (the zero-perturbation
+    guarantee); this measures the *host* cost of recording spans.
+    """
+    import time
+
+    from repro.faas.records import InvocationPath
+    from repro.seuss.node import SeussNode
+    from repro.sim import Environment
+    from repro.trace import Tracer
+    from repro.workload.functions import nop_function
+
+    def loop(tracer: Optional[Tracer]) -> tuple:
+        env = Environment()
+        if tracer is not None:
+            tracer.attach(env)
+        try:
+            node = SeussNode(env)
+            node.initialize_sync()
+            fn = nop_function(owner="bench-trace")
+            node.invoke_sync(fn)  # cold; everything after is hot
+            started = time.perf_counter()
+            for _ in range(invocations):
+                outcome = node.invoke_sync(fn)
+                assert outcome.path is InvocationPath.HOT
+            elapsed = time.perf_counter() - started
+        finally:
+            if tracer is not None:
+                tracer.detach(env)
+        return elapsed, outcome.latency_ms
+
+    untraced_s, untraced_latency = loop(None)
+    tracer = Tracer()
+    traced_s, traced_latency = loop(tracer)
+    return {
+        "invocations": invocations,
+        "untraced_s": round(untraced_s, 4),
+        "traced_s": round(traced_s, 4),
+        "overhead_ratio": round(traced_s / untraced_s, 3)
+        if untraced_s
+        else None,
+        "spans_recorded": len(tracer.spans),
+        "sim_results_identical": untraced_latency == traced_latency,
+    }
+
+
 def ingest_micro(path: Optional[str]) -> List[dict]:
     """Summarize a pytest-benchmark JSON file (mean/stddev per test)."""
     if not path or not os.path.exists(path):
@@ -97,6 +147,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     suite = measure_suite(args.profile, args.parallel)
+    tracing = measure_tracing_overhead()
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "kind": "seuss-repro-bench",
@@ -107,6 +158,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "python": platform.python_version(),
         },
         "suite": suite,
+        "tracing": tracing,
         "micro": ingest_micro(args.micro),
     }
     with open(args.out, "w") as handle:
@@ -117,6 +169,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{suite['parallel_wall_clock_s']}s "
         f"(speedup {suite['speedup']}x, "
         f"identical={suite['tables_byte_identical']}), "
+        f"tracing overhead {tracing['overhead_ratio']}x, "
         f"{len(payload['micro'])} microbenchmarks"
     )
     return 0

@@ -113,4 +113,8 @@ def __getattr__(name):
         import repro.faas.health as health
 
         return getattr(health, name)
+    if name in ("Tracer", "NullTracer", "Span"):
+        import repro.trace as trace
+
+        return getattr(trace, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

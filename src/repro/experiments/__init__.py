@@ -31,6 +31,7 @@ __all__ = [
     "run_figure7",
     "run_figure8",
     "run_ksm_contrast",
+    "run_latency",
     "run_sensitivity",
     "run_table1",
     "run_table2",
@@ -52,6 +53,7 @@ _LAZY = {
     "run_ksm_contrast": "repro.experiments.extensions",
     "run_sensitivity": "repro.experiments.sensitivity",
     "run_codesize": "repro.experiments.codesize",
+    "run_latency": "repro.experiments.latency",
 }
 
 #: Every module that registers specs, in display order (``all`` runs
@@ -64,6 +66,7 @@ EXPERIMENT_MODULES = (
     "repro.experiments.figure5",
     "repro.experiments.bursts",
     "repro.experiments.extensions",
+    "repro.experiments.latency",
     "repro.experiments.sensitivity",
     "repro.experiments.codesize",
     "repro.experiments.chaos",

@@ -1,0 +1,152 @@
+"""§7 stage decomposition — where cold/warm/hot latency actually goes.
+
+The paper reports end-to-end NOP latencies (7.5 / 3.5 / 0.8 ms) and
+narrates the stages behind them; this experiment reconstructs the full
+decomposition from recorded spans.  A :class:`~repro.trace.Tracer` is
+attached to the node's environment, NOP invocations are driven down
+each path, and every invocation's stage spans are checked to sum to its
+end-to-end latency exactly (the coverage invariant) before the
+per-path breakdown table is assembled.
+
+When a tracer is already active process-wide (the CLI's ``--trace``
+flag), the experiment records into it, so the exported Perfetto file
+contains these invocations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro import trace
+from repro.experiments.base import ExperimentResult, ExperimentSpec, registry
+from repro.faas.records import InvocationPath, NodeInvocation
+from repro.seuss.config import SeussConfig
+from repro.seuss.node import SeussNode
+from repro.sim import Environment
+from repro.trace.analysis import (
+    COVERAGE_EPSILON,
+    breakdown_rows,
+    coverage_residual,
+)
+from repro.trace.tracer import Span, Tracer
+from repro.workload.functions import nop_function
+
+#: Paper end-to-end references for the NOP function (§7 / Table 1).
+PAPER_END_TO_END_MS = {"cold": 7.5, "warm": 3.5, "hot": 0.8}
+
+#: Path display order for the breakdown table.
+PATH_ORDER = ("cold", "warm", "hot")
+
+
+def trace_invocation_paths(
+    invocations: int = 50,
+) -> Dict[str, object]:
+    """Drive traced NOP invocations down each path on one node.
+
+    Returns the tracer, the per-path invocation outcomes, and the
+    invocation root spans recorded during this run.  Reuses the active
+    (``--trace``-installed) tracer when one is enabled so suite-level
+    exports capture these spans; otherwise records into a private one.
+    """
+    active = trace.current()
+    tracer = active if active.enabled else Tracer()
+    env = Environment()
+    tracer.attach(env)
+    prior_roots = len(tracer.roots("invocation"))
+    try:
+        node = SeussNode(env, SeussConfig())
+        node.initialize_sync()
+        outcomes: Dict[str, List[NodeInvocation]] = {
+            "cold": [], "warm": [], "hot": []
+        }
+        for index in range(invocations):
+            fn = nop_function(owner=f"lat-{index}")
+            cold = node.invoke_sync(fn)
+            node.uc_cache.drop_function(fn.key)
+            warm = node.invoke_sync(fn)
+            hot = node.invoke_sync(fn)
+            for label, outcome in (
+                ("cold", cold), ("warm", warm), ("hot", hot)
+            ):
+                assert outcome.success, f"{label}: {outcome.error}"
+                outcomes[label].append(outcome)
+        expected = {
+            "cold": InvocationPath.COLD,
+            "warm": InvocationPath.WARM,
+            "hot": InvocationPath.HOT,
+        }
+        for label, results in outcomes.items():
+            for outcome in results:
+                assert outcome.path is expected[label], (label, outcome.path)
+    finally:
+        tracer.detach(env)
+    roots = tracer.roots("invocation")[prior_roots:]
+    return {"tracer": tracer, "outcomes": outcomes, "roots": roots}
+
+
+def check_coverage(tracer: Tracer, roots: List[Span]) -> float:
+    """Assert every root's stages sum to its duration; returns the max
+    absolute residual (the float-rounding headroom actually used)."""
+    worst = 0.0
+    for root in roots:
+        residual = abs(coverage_residual(tracer, root))
+        tolerance = COVERAGE_EPSILON * max(1.0, root.duration_ms)
+        assert residual <= tolerance, (
+            f"stage spans of {root.attrs.get('path')} invocation "
+            f"cover {root.duration_ms - residual:.9f} of "
+            f"{root.duration_ms:.9f} ms (residual {residual:.3e})"
+        )
+        worst = max(worst, residual)
+    return worst
+
+
+def run_latency(invocations: int = 200) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="latency",
+        title="§7 stage decomposition of cold/warm/hot NOP latency",
+        headers=["path", "stage", "mean_ms", "share_%"],
+    )
+    run = trace_invocation_paths(invocations)
+    tracer: Tracer = run["tracer"]
+    roots: List[Span] = run["roots"]
+    assert len(roots) == 3 * invocations, len(roots)
+
+    worst_residual = check_coverage(tracer, roots)
+    for path, stage, mean_ms, share in breakdown_rows(
+        tracer, roots, group_attr="path", group_order=PATH_ORDER
+    ):
+        result.add_row(path, stage, round(mean_ms, 4), round(share, 1))
+
+    for path in PATH_ORDER:
+        latencies = [s.latency_ms for s in run["outcomes"][path]]
+        measured = sum(latencies) / len(latencies)
+        result.add_note(
+            f"{path} end-to-end: paper {PAPER_END_TO_END_MS[path]} ms, "
+            f"measured {measured:.3f} ms"
+        )
+    result.add_note(
+        f"coverage invariant held for all {len(roots)} invocations "
+        f"(max |residual| {worst_residual:.3e} ms)"
+    )
+    result.add_note(
+        f"stages averaged across {invocations} invocations per path"
+    )
+    result.raw["tracer"] = tracer
+    result.raw["roots"] = roots
+    result.raw["outcomes"] = run["outcomes"]
+    return result
+
+
+SPEC = registry.register(
+    ExperimentSpec(
+        experiment_id="latency",
+        title="§7 stage decomposition (traced invocation paths)",
+        entry=run_latency,
+        profiles={
+            "full": {},
+            "quick": {"invocations": 25},
+            "smoke": {"invocations": 3},
+        },
+        tags=("paper", "table", "trace"),
+    )
+)

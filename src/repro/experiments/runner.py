@@ -138,6 +138,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="also write the suite artifact (tables + run metadata) to "
         "FILE as schema-versioned JSON",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record sim-clock spans for the whole run and write them to "
+        "FILE as Chrome trace-event JSON (open in Perfetto; serial runs "
+        "only)",
+    )
     args = parser.parse_args(argv)
 
     registry = load_all()
@@ -153,6 +160,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.plot and args.parallel > 1:
         parser.error("--plot needs the in-process results of a serial run; "
                      "drop --parallel")
+    if args.trace and args.parallel > 1:
+        parser.error("--trace records in-process spans, which worker "
+                     "processes cannot share; drop --parallel")
 
     wanted = args.experiments or ["all"]
     known = set(registry.ids())
@@ -167,16 +177,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not specs:
         parser.error("selection matched no experiments")
 
-    suite = run_suite(
-        [spec.experiment_id for spec in specs],
-        profile=profile,
-        parallel=args.parallel,
-        seed=args.seed,
-        registry=registry,
-        progress=lambda line: print(line, file=sys.stderr),
-        on_outcome=lambda outcome: _print_outcome(outcome, args.plot),
-    )
+    tracer = None
+    if args.trace:
+        from repro import trace
 
+        tracer = trace.enable(trace.Tracer())
+    try:
+        suite = run_suite(
+            [spec.experiment_id for spec in specs],
+            profile=profile,
+            parallel=args.parallel,
+            seed=args.seed,
+            registry=registry,
+            progress=lambda line: print(line, file=sys.stderr),
+            on_outcome=lambda outcome: _print_outcome(outcome, args.plot),
+        )
+    finally:
+        if tracer is not None:
+            from repro.trace import disable
+
+            disable()
+
+    if tracer is not None:
+        from repro.trace.export import write_chrome_trace
+
+        suite.trace_enabled = True
+        suite.trace_path = args.trace
+        events = write_chrome_trace(args.trace, tracer)
+        print(
+            f"wrote {events} trace events ({len(tracer.spans)} spans) "
+            f"to {args.trace}"
+        )
     if args.json:
         from repro.metrics.export import write_suite_json
 

@@ -74,6 +74,10 @@ class SuiteResult:
     seed: Optional[int]
     outcomes: List[ExperimentOutcome] = field(default_factory=list)
     wall_clock_s: float = 0.0
+    #: Whether a process-global tracer was active for this run, and
+    #: where its Perfetto export was written (the CLI's ``--trace``).
+    trace_enabled: bool = False
+    trace_path: Optional[str] = None
 
     @property
     def failed(self) -> List[ExperimentOutcome]:
@@ -109,6 +113,10 @@ class SuiteResult:
             "parallel": self.parallel,
             "seed": self.seed,
             "wall_clock_s": round(self.wall_clock_s, 3),
+            "trace": {
+                "enabled": self.trace_enabled,
+                "path": self.trace_path,
+            },
             "experiments": experiments,
         }
 

@@ -43,6 +43,7 @@ from repro.faas.records import (
 )
 from repro.seuss.shim import ShimProcess
 from repro.sim import AnyOf, Environment
+from repro.trace import tracer_for
 
 #: Fractions of the control-plane overhead paid before/after node work
 #: (gateway + schedule + bus publish vs. activation store + response).
@@ -173,11 +174,13 @@ class Controller:
         return self.costs.control_plane_ms * (1.0 - PRE_NODE_FRACTION)
 
     # -- node attempts ---------------------------------------------------
-    def _attempt_node(self, fn: FunctionSpec, request: InvocationRequest):
+    def _attempt_node(self, fn: FunctionSpec, request: InvocationRequest, span):
         """Sim sub-process: one dispatch to a (routed) node.
 
         Returns the :class:`NodeInvocation` — synthesized when every
         circuit is open — or ``None`` if the client deadline expired.
+        ``span`` is this attempt's trace span; circuit rejections and
+        node errors are annotated onto it.
         """
         env = self.env
         health = None
@@ -187,6 +190,7 @@ class Controller:
                 node = health.node
             except CircuitOpenError as exc:
                 self.stats.circuit_rejected += 1
+                span.annotate(circuit_rejected=True, error=str(exc))
                 return NodeInvocation(
                     path=InvocationPath.ERROR,
                     success=False,
@@ -206,6 +210,7 @@ class Controller:
 
         if not node_process.processed:
             # Client gave up; the node finishes (or fails) on its own.
+            span.annotate(timed_out=True)
             return None
         node_result = node_process.value
         if health is not None:
@@ -213,6 +218,13 @@ class Controller:
                 health.record_success()
             else:
                 health.record_failure()
+        span.annotate(
+            success=node_result.success, node_path=node_result.path.value
+        )
+        if node_result.error is not None:
+            # Failures here are injected (crashes, corruption) or
+            # synthetic (open circuits); keep the cause on the span.
+            span.annotate(error=node_result.error)
         return node_result
 
     def _should_retry(
@@ -234,87 +246,116 @@ class Controller:
         env = self.env
         request = InvocationRequest(function=fn, sent_at_ms=env.now)
         self.stats.received += 1
+        root = tracer_for(env).span(
+            "request",
+            at=env.now,
+            category="controller",
+            function=fn.key,
+            request_id=request.request_id,
+        )
 
-        # Namespace throttling happens at the gateway, before any work.
-        admitted, reason = self.quotas.try_admit(fn.owner, env.now)
-        if not admitted:
-            self.stats.throttled += 1
-            self.stats.failed += 1
+        try:
+            # Namespace throttling happens at the gateway, before any work.
+            admitted, reason = self.quotas.try_admit(fn.owner, env.now)
+            if not admitted:
+                self.stats.throttled += 1
+                self.stats.failed += 1
+                root.annotate(throttled=True, error=f"throttled: {reason}")
+                return InvocationResult(
+                    request_id=request.request_id,
+                    function_key=fn.key,
+                    path=InvocationPath.ERROR,
+                    success=False,
+                    sent_at_ms=request.sent_at_ms,
+                    finished_at_ms=env.now,
+                    error=f"throttled: {reason}",
+                )
+
+            try:
+                # API gateway -> controller -> Kafka.
+                self.bus.publish_nowait("invoke", request)
+                dispatch_started = env.now
+                yield env.timeout(self.pre_node_ms)
+                yield self.bus.consume("invoke")
+
+                # The SEUSS deployment interposes the shim hop here.
+                if self.shim is not None:
+                    yield from self.shim.forward()
+                root.done("dispatch", dispatch_started, env.now)
+
+                attempt = 1
+                backoff_spent = 0.0
+                while True:
+                    attempt_span = root.span(
+                        "attempt", at=env.now, category="attempt", attempt=attempt
+                    )
+                    node_result = yield from self._attempt_node(
+                        fn, request, attempt_span
+                    )
+                    attempt_span.finish(at=env.now)
+                    if node_result is None:
+                        self.stats.timed_out += 1
+                        self.stats.failed += 1
+                        root.annotate(error="request timed out")
+                        return InvocationResult(
+                            request_id=request.request_id,
+                            function_key=fn.key,
+                            path=InvocationPath.ERROR,
+                            success=False,
+                            sent_at_ms=request.sent_at_ms,
+                            finished_at_ms=env.now,
+                            error="request timed out",
+                            attempts=attempt,
+                        )
+                    if not self._should_retry(node_result, attempt, backoff_spent):
+                        if not node_result.success and self.retries.enabled:
+                            self.stats.retry_exhausted += 1
+                        break
+                    backoff = self.retries.backoff_ms(attempt, self._retry_rng)
+                    self.stats.retried += 1
+                    self.retry_events.append(
+                        RetryEvent(
+                            request_id=request.request_id,
+                            attempt=attempt,
+                            at_ms=env.now,
+                            backoff_ms=backoff,
+                        )
+                    )
+                    root.done(
+                        "backoff", env.now, env.now + backoff, attempt=attempt
+                    )
+                    yield env.timeout(backoff)
+                    backoff_spent += backoff
+                    attempt += 1
+
+                root.done("respond", env.now, env.now + self.post_node_ms)
+                yield env.timeout(self.post_node_ms)
+            finally:
+                self.quotas.release(fn.owner)
+
+            if node_result.success:
+                self.stats.succeeded += 1
+                if attempt > 1:
+                    self.stats.recovered += 1
+            else:
+                self.stats.failed += 1
+            root.annotate(
+                success=node_result.success,
+                path=node_result.path.value,
+                attempts=attempt,
+            )
             return InvocationResult(
                 request_id=request.request_id,
                 function_key=fn.key,
-                path=InvocationPath.ERROR,
-                success=False,
+                path=node_result.path,
+                success=node_result.success,
                 sent_at_ms=request.sent_at_ms,
                 finished_at_ms=env.now,
-                error=f"throttled: {reason}",
+                node_latency_ms=node_result.latency_ms,
+                breakdown=dict(node_result.breakdown),
+                error=node_result.error,
+                pages_copied=node_result.pages_copied,
+                attempts=attempt,
             )
-
-        try:
-            # API gateway -> controller -> Kafka.
-            self.bus.publish_nowait("invoke", request)
-            yield env.timeout(self.pre_node_ms)
-            yield self.bus.consume("invoke")
-
-            # The SEUSS deployment interposes the shim hop here.
-            if self.shim is not None:
-                yield from self.shim.forward()
-
-            attempt = 1
-            backoff_spent = 0.0
-            while True:
-                node_result = yield from self._attempt_node(fn, request)
-                if node_result is None:
-                    self.stats.timed_out += 1
-                    self.stats.failed += 1
-                    return InvocationResult(
-                        request_id=request.request_id,
-                        function_key=fn.key,
-                        path=InvocationPath.ERROR,
-                        success=False,
-                        sent_at_ms=request.sent_at_ms,
-                        finished_at_ms=env.now,
-                        error="request timed out",
-                        attempts=attempt,
-                    )
-                if not self._should_retry(node_result, attempt, backoff_spent):
-                    if not node_result.success and self.retries.enabled:
-                        self.stats.retry_exhausted += 1
-                    break
-                backoff = self.retries.backoff_ms(attempt, self._retry_rng)
-                self.stats.retried += 1
-                self.retry_events.append(
-                    RetryEvent(
-                        request_id=request.request_id,
-                        attempt=attempt,
-                        at_ms=env.now,
-                        backoff_ms=backoff,
-                    )
-                )
-                yield env.timeout(backoff)
-                backoff_spent += backoff
-                attempt += 1
-
-            yield env.timeout(self.post_node_ms)
         finally:
-            self.quotas.release(fn.owner)
-
-        if node_result.success:
-            self.stats.succeeded += 1
-            if attempt > 1:
-                self.stats.recovered += 1
-        else:
-            self.stats.failed += 1
-        return InvocationResult(
-            request_id=request.request_id,
-            function_key=fn.key,
-            path=node_result.path,
-            success=node_result.success,
-            sent_at_ms=request.sent_at_ms,
-            finished_at_ms=env.now,
-            node_latency_ms=node_result.latency_ms,
-            breakdown=dict(node_result.breakdown),
-            error=node_result.error,
-            pages_copied=node_result.pages_copied,
-            attempts=attempt,
-        )
+            root.finish(at=env.now)

@@ -21,7 +21,11 @@ from typing import Optional
 from repro.errors import SnapshotError
 from repro.mem.frames import FrameAllocator
 from repro.mem.intervals import IntervalSet
-from repro.mem.paging import page_table_pages_for
+from repro.mem.paging import (
+    page_table_pages_for,
+    record_page_faults,
+    record_page_table_build,
+)
 from repro.mem.snapshot import CpuState, Snapshot
 from repro.units import pages_to_mb
 
@@ -98,6 +102,7 @@ class AddressSpace:
         # from a snapshot.
         self._page_table_pages = page_table_pages_for(mapped)
         allocator.allocate(self._page_table_pages, PAGE_TABLE_CATEGORY)
+        record_page_table_build(self._page_table_pages)
 
     # -- introspection ---------------------------------------------------
     @property
@@ -177,6 +182,7 @@ class AddressSpace:
             for s, e in gaps:
                 self._private.add(s, e)
             self._faults += copied
+            record_page_faults(copied, len(gaps))
         self._dirty.add(start, stop)
         return WriteResult(
             pages_written=npages, pages_copied=copied, extents_copied=len(gaps)

@@ -1,18 +1,30 @@
-"""x86-64 paging-structure accounting.
+"""x86-64 paging-structure accounting and page-event tracing hooks.
 
 SEUSS OS captures "the complete page table structure" with every
 snapshot and shallow-copies it on every deploy (§6).  Both snapshots and
 address spaces therefore carry a small paging-structure overhead in
 addition to their data pages; this module centralizes that arithmetic.
+
+It is also the memory substrate's funnel into :mod:`repro.trace`: COW
+fault servicing and page-table construction report here, and the hooks
+forward them as counter events to the active tracer.  With tracing off
+the hooks hit the null tracer — one no-op call, no recording.
 """
 
 from __future__ import annotations
+
+from repro.trace import current as _active_tracer
 
 #: One 4 KiB page-table page holds 512 PTEs (maps 2 MiB).
 PTES_PER_PAGE = 512
 
 #: Fixed upper-level structures: PML4 + PDPT + PD.
 PAGE_TABLE_ROOT_PAGES = 3
+
+#: Counter names the hooks emit (cumulative across the traced run).
+COUNTER_PAGES_COPIED = "mem.pages_copied"
+COUNTER_COW_FAULTS = "mem.cow_faults"
+COUNTER_PAGE_TABLE_PAGES = "mem.page_table_pages_built"
 
 
 def page_table_pages_for(mapped_pages: int) -> int:
@@ -23,3 +35,18 @@ def page_table_pages_for(mapped_pages: int) -> int:
         return PAGE_TABLE_ROOT_PAGES
     leaves = -(-mapped_pages // PTES_PER_PAGE)  # ceil division
     return PAGE_TABLE_ROOT_PAGES + leaves
+
+
+def record_page_faults(pages_copied: int, extents: int) -> None:
+    """Trace hook: ``extents`` COW faults copied ``pages_copied`` pages."""
+    tracer = _active_tracer()
+    if tracer.enabled and pages_copied:
+        tracer.counter(COUNTER_PAGES_COPIED, pages_copied)
+        tracer.counter(COUNTER_COW_FAULTS, extents)
+
+
+def record_page_table_build(pages: int) -> None:
+    """Trace hook: ``pages`` pages of paging structures were built."""
+    tracer = _active_tracer()
+    if tracer.enabled and pages:
+        tracer.counter(COUNTER_PAGE_TABLE_PAGES, pages)

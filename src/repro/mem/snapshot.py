@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 from repro.errors import SnapshotCorruptionError, SnapshotError
 from repro.mem.frames import FrameAllocator
 from repro.mem.intervals import IntervalSet
+from repro.trace import current as _active_tracer
 from repro.units import pages_to_mb
 
 #: Allocation category used for snapshot-owned frames.
@@ -96,6 +97,16 @@ class Snapshot:
 
         self._page_table_pages = page_table_pages_for(self.stack_page_count())
         allocator.allocate(self._page_table_pages, SNAPSHOT_CATEGORY)
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "snapshot.capture",
+                snapshot=name,
+                pages=self._pages.page_count,
+                page_table_pages=self._page_table_pages,
+                depth=self.depth,
+            )
+            tracer.counter("mem.snapshot_pages_held", self.footprint_pages)
 
     # -- introspection ---------------------------------------------------
     @property
@@ -249,6 +260,10 @@ class Snapshot:
             self._pages.page_count + self._page_table_pages, SNAPSHOT_CATEGORY
         )
         self._deleted = True
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event("snapshot.delete", snapshot=self.name)
+            tracer.counter("mem.snapshot_pages_held", -self.footprint_pages)
         if self.parent is not None:
             self.parent.release()
             self.parent = None

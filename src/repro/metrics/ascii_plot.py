@@ -1,15 +1,20 @@
-"""Terminal scatter plots for the burst figures.
+"""Terminal plots: burst scatters and span waterfalls.
 
 Figures 6-8 are request scatters: x = send time, y = latency (log
 scale), dots for successes and 'x' marks for failures.  This renderer
 reproduces that visual in plain text so `seuss-repro` and the examples
-can *show* the figures, not just summarize them.
+can *show* the figures, not just summarize them.  The span waterfall
+does the same for one traced invocation's stage decomposition
+(:mod:`repro.trace`): one bar per span, nested by indentation.
 """
 
 from __future__ import annotations
 
 import math
 from typing import List, Sequence, Tuple
+
+#: One waterfall row: (depth, label, start_ms, end_ms).
+WaterfallRow = Tuple[int, str, float, float]
 
 #: (x_value, y_value, marker) — markers are single characters.
 Point = Tuple[float, float, str]
@@ -78,6 +83,51 @@ def scatter(
     right = f"{x_hi / 1000:.0f} {x_label}"
     lines.append(" " * 10 + left + right.rjust(width - len(left)))
     lines.append(f"{'':>10}y: {y_label}" + ("  [log scale]" if log_y else ""))
+    return "\n".join(lines)
+
+
+def span_waterfall(
+    rows: Sequence[WaterfallRow],
+    width: int = 44,
+    title: str = "",
+) -> str:
+    """Render nested spans as an ASCII waterfall.
+
+    ``rows`` are ``(depth, label, start_ms, end_ms)`` tuples in display
+    order (a pre-order walk of the span tree); times are absolute and
+    rendered relative to the earliest start.  Each row shows the label
+    (indented by depth), a bar positioned on a shared time axis, and
+    the span's duration.  Zero-length spans render as a ``|`` tick.
+    """
+    if width < 10:
+        raise ValueError("waterfall must be at least 10 columns wide")
+    if not rows:
+        return f"{title}\n(no spans)"
+    origin = min(row[2] for row in rows)
+    horizon = max(row[3] for row in rows)
+    span_ms = (horizon - origin) or 1.0
+
+    labels = [("  " * depth) + label for depth, label, _, _ in rows]
+    label_width = min(max(len(label) for label in labels), 30)
+
+    def column(value: float) -> int:
+        return int((value - origin) / span_ms * (width - 1))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    axis = f"{0.0:.3f} ms".ljust(width - len(f"{span_ms:.3f} ms")) + f"{span_ms:.3f} ms"
+    lines.append(" " * (label_width + 1) + "|" + axis + "|")
+    for (depth, label, start, end), text in zip(rows, labels):
+        lo, hi = column(start), column(end)
+        if hi > lo:
+            bar = " " * lo + "=" * (hi - lo)
+        else:
+            bar = " " * lo + "|"
+        lines.append(
+            f"{text[:label_width]:<{label_width}} |{bar:<{width}}| "
+            f"{end - start:9.3f} ms"
+        )
     return "\n".join(lines)
 
 

@@ -18,8 +18,13 @@ from repro.faas.records import InvocationResult
 #: field changes meaning or is removed; additions are backwards
 #: compatible.  v1 was the bare ``{"experiments": [...]}`` document; v2
 #: adds ``schema_version`` and the suite-level run metadata
-#: (profile/parallel/seed/per-experiment status and timing).
-SCHEMA_VERSION = 2
+#: (profile/parallel/seed/per-experiment status and timing); v3 adds
+#: the suite-level ``trace`` object recording whether a ``--trace``
+#: tracer was active and where its Perfetto export was written.
+SCHEMA_VERSION = 3
+
+#: Schema versions :func:`load_suite_json` accepts.
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 
 def write_results_csv(path: str, results: Iterable[InvocationResult]) -> int:
@@ -103,6 +108,31 @@ def write_suite_json(path: str, suite) -> None:
     """
     with open(path, "w") as handle:
         json.dump(suite.to_dict(), handle, indent=2)
+
+
+def load_suite_json(path: str) -> dict:
+    """Read a suite artifact, normalizing older schema versions to v3.
+
+    v1 documents carried no ``schema_version``; v2 lacked the ``trace``
+    object.  Both load with the missing fields defaulted, so downstream
+    consumers can rely on the v3 shape.  Unknown (newer) versions fail
+    loud rather than being silently misread.
+    """
+    with open(path) as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "experiments" not in payload:
+        raise ValueError(f"{path}: not a suite artifact (no experiments)")
+    version = payload.get("schema_version", 1)
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        raise ValueError(
+            f"{path}: unsupported schema_version {version!r}; "
+            f"supported: {list(SUPPORTED_SCHEMA_VERSIONS)}"
+        )
+    payload.setdefault("schema_version", version)
+    payload.setdefault("trace", {"enabled": False, "path": None})
+    payload["trace"].setdefault("enabled", False)
+    payload["trace"].setdefault("path", None)
+    return payload
 
 
 def _jsonable(value):

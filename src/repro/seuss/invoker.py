@@ -6,6 +6,13 @@ or **cold** path by cache state and charging each stage its calibrated
 cost while performing the real memory mechanics against the page
 substrate.  The per-stage breakdown it returns is what the Table 1 / 2
 experiments report.
+
+Every stage charge also records a child span on the invocation's root
+span (:mod:`repro.trace`), so a traced run yields the §7 latency
+decomposition as a machine-checkable span tree: stage spans tile the
+root exactly (queue waits included), which the ``latency`` experiment
+asserts.  With tracing disabled the recording calls hit the null
+tracer and the invocation is byte-identical to an untraced one.
 """
 
 from __future__ import annotations
@@ -19,9 +26,11 @@ from repro.faas.records import (
     InvocationStage,
     NodeInvocation,
 )
+from repro.trace import tracer_for
 from repro.unikernel.context import UnikernelContext
 
 #: Stage keys used in latency breakdowns.
+STAGE_QUEUE_WAIT = "queue_wait"
 STAGE_UC_CREATE = "uc_create"
 STAGE_CONNECT = "connect"
 STAGE_FAULTS = "cow_faults"
@@ -49,190 +58,229 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
         InvocationStage.REQUEST_RECEIVED: started
     }
     pages_copied = 0
+    tracer = tracer_for(env)
+    root = tracer.span(
+        "invocation",
+        at=started,
+        category="invocation",
+        function=fn.key,
+        runtime=fn.runtime,
+    )
 
     def charge(stage: str, duration: float) -> float:
         breakdown[stage] = breakdown.get(stage, 0.0) + duration
+        # The caller immediately yields a timeout of ``duration``, so
+        # the stage span's edges are known here, before time passes.
+        root.done(stage, env.now, env.now + duration)
         return duration
 
     def reached(stage: InvocationStage) -> None:
         stage_times[stage] = env.now
 
-    # -- path selection -----------------------------------------------
-    injector = node.fault_injector
-    uc = node.uc_cache.pop(fn.key)
-    if uc is not None:
-        path = InvocationPath.HOT
-        fn_snapshot = None
-    else:
-        fn_snapshot = node.snapshot_cache.get(fn.key)
-        if fn_snapshot is not None:
-            if injector is not None and injector.snapshot_corrupts_on_restore():
-                fn_snapshot.corrupt()
-            # Integrity gate: checksums are validated before any restore.
-            # A corrupted snapshot is quarantined and the invocation
-            # falls through to the cold path — one cold rebuild, no
-            # client-visible failure.
-            try:
-                fn_snapshot.verify()
-            except SnapshotCorruptionError:
-                node.snapshot_cache.quarantine(fn.key)
-                fn_snapshot = None
-        path = InvocationPath.WARM if fn_snapshot is not None else InvocationPath.COLD
-
-    core = node.cores.request()
-    yield core
     try:
-        if path is not InvocationPath.HOT:
-            runtime_record = node.runtime_record(fn.runtime)
-            base = fn_snapshot if path is InvocationPath.WARM else runtime_record.snapshot
-            try:
-                uc = UnikernelContext(
-                    node.allocator, runtime_record.runtime, base=base
-                )
-            except OutOfMemoryError as exc:
-                node.stats.errors += 1
-                return NodeInvocation(
-                    path=InvocationPath.ERROR,
-                    success=False,
-                    latency_ms=env.now - started,
-                    breakdown=breakdown,
-                    error=f"out of memory creating UC: {exc}",
-                    function_key=fn.key,
-                )
-            yield env.timeout(charge(STAGE_UC_CREATE, costs.uc_create_ms))
-            reached(InvocationStage.ENVIRONMENT_CREATED)
-            # Deploying from any snapshot resumes inside an initialized
-            # interpreter — the whole point of the method.
-            reached(InvocationStage.RUNTIME_INITIALIZED)
-
-            result = uc.start_listening()
-            pages_copied += result.pages_copied
-            # Map the control channel on the resident core's proxy; it
-            # is unmapped automatically when the UC is destroyed.
-            node.network.connect_uc(uc)
-            result = uc.accept_connection()
-            pages_copied += result.pages_copied
-            yield env.timeout(charge(STAGE_CONNECT, costs.tcp_connect_ms))
-
-            if path is InvocationPath.COLD:
-                yield env.timeout(
-                    charge(STAGE_FAULTS, costs.cold_deploy_fault_ms)
-                )
-                if not runtime_record.ao_level.network:
-                    yield env.timeout(
-                        charge(
-                            STAGE_NETWORK_FIRST_USE, costs.network_first_use_ms
-                        )
-                    )
-                result = uc.import_function(fn.key, fn.code_kb)
-                pages_copied += result.pages_copied
-                yield env.timeout(
-                    charge(STAGE_IMPORT, costs.import_compile_ms(fn.code_kb))
-                )
-                if not runtime_record.ao_level.interpreter:
-                    yield env.timeout(
-                        charge(
-                            STAGE_INTERP_FIRST_USE,
-                            costs.interpreter_first_use_ms,
-                        )
-                    )
-                snapshot = uc.capture_snapshot(
-                    f"fn:{fn.key}",
-                    trigger_label="code_compiled",
-                    flatten=not node.config.snapshot_stacks,
-                )
-                yield env.timeout(
-                    charge(
-                        STAGE_CAPTURE, costs.snapshot_capture_ms(snapshot.size_mb)
-                    )
-                )
-                if injector is not None and injector.snapshot_corrupts_on_capture():
-                    # A bad capture: the damage surfaces at the next
-                    # restore's checksum validation, not now.
-                    snapshot.corrupt()
-                if not node.snapshot_cache.put(fn.key, snapshot):
-                    # Lost the insertion race to a concurrent cold start;
-                    # reap this duplicate when its UC is destroyed.
-                    snapshot.mark_orphan()
-                reached(InvocationStage.CODE_IMPORTED)
-            else:  # WARM
-                uc.restore_function(fn.key, fn.code_kb)
-                # Warm-path COW cost scales with the function *diff*;
-                # for a flattened snapshot (no lineage) the diff is its
-                # size over the shared runtime image.
-                diff_mb = fn_snapshot.size_mb
-                if fn_snapshot.parent is None:
-                    diff_mb = max(
-                        0.0,
-                        fn_snapshot.size_mb - runtime_record.snapshot.size_mb,
-                    )
-                yield env.timeout(
-                    charge(
-                        STAGE_FAULTS,
-                        costs.warm_fault_ms(
-                            diff_mb,
-                            runtime_record.ao_level.interpreter,
-                        ),
-                    )
-                )
-                # Inherited through the function snapshot.
-                reached(InvocationStage.CODE_IMPORTED)
-        else:
-            reached(InvocationStage.CODE_IMPORTED)  # resident in the idle UC
-
-        # -- common tail: args, execute, result -------------------------
-        result = uc.import_args()
-        pages_copied += result.pages_copied
-        yield env.timeout(charge(STAGE_ARGS, costs.arg_import_ms))
-        reached(InvocationStage.ARGUMENTS_LOADED)
-
-        result = uc.execute(fn.exec_write_pages)
-        pages_copied += result.pages_copied
-        exec_ms = fn.exec_ms
-        if injector is not None and injector.core_runs_slow():
-            # Degraded-core fault: the body runs, just slower.
-            exec_ms *= injector.plan.slow_core_factor
-        yield env.timeout(charge(STAGE_EXEC, exec_ms))
-        if fn.io_wait_ms > 0:
-            # Blocked on external I/O: the poll-based UC releases its
-            # core while waiting.
-            node.cores.release(core)
-            core = None
-            yield env.timeout(charge(STAGE_IO_WAIT, fn.io_wait_ms))
-            core = node.cores.request()
-            yield core
-        reached(InvocationStage.EXECUTED)
-        yield env.timeout(charge(STAGE_RESULT, costs.result_return_ms))
-        reached(InvocationStage.RESULT_RETURNED)
-    except OutOfMemoryError as exc:
+        # -- path selection -------------------------------------------
+        injector = node.fault_injector
+        uc = node.uc_cache.pop(fn.key)
         if uc is not None:
+            path = InvocationPath.HOT
+            fn_snapshot = None
+        else:
+            fn_snapshot = node.snapshot_cache.get(fn.key)
+            if fn_snapshot is not None:
+                if injector is not None and injector.snapshot_corrupts_on_restore():
+                    fn_snapshot.corrupt()
+                # Integrity gate: checksums are validated before any restore.
+                # A corrupted snapshot is quarantined and the invocation
+                # falls through to the cold path — one cold rebuild, no
+                # client-visible failure.
+                try:
+                    fn_snapshot.verify()
+                except SnapshotCorruptionError:
+                    node.snapshot_cache.quarantine(fn.key)
+                    root.event(
+                        "fault.snapshot_quarantined", at=env.now, key=fn.key
+                    )
+                    fn_snapshot = None
+            path = (
+                InvocationPath.WARM
+                if fn_snapshot is not None
+                else InvocationPath.COLD
+            )
+        root.annotate(path=path.value)
+
+        core = node.cores.request()
+        queue_started = env.now
+        yield core
+        root.done(STAGE_QUEUE_WAIT, queue_started, env.now)
+        try:
+            if path is not InvocationPath.HOT:
+                runtime_record = node.runtime_record(fn.runtime)
+                base = fn_snapshot if path is InvocationPath.WARM else runtime_record.snapshot
+                try:
+                    uc = UnikernelContext(
+                        node.allocator, runtime_record.runtime, base=base
+                    )
+                except OutOfMemoryError as exc:
+                    node.stats.errors += 1
+                    root.annotate(path=InvocationPath.ERROR.value, error="oom")
+                    return NodeInvocation(
+                        path=InvocationPath.ERROR,
+                        success=False,
+                        latency_ms=env.now - started,
+                        breakdown=breakdown,
+                        error=f"out of memory creating UC: {exc}",
+                        function_key=fn.key,
+                    )
+                yield env.timeout(charge(STAGE_UC_CREATE, costs.uc_create_ms))
+                reached(InvocationStage.ENVIRONMENT_CREATED)
+                # Deploying from any snapshot resumes inside an initialized
+                # interpreter — the whole point of the method.
+                reached(InvocationStage.RUNTIME_INITIALIZED)
+
+                result = uc.start_listening()
+                pages_copied += result.pages_copied
+                # Map the control channel on the resident core's proxy; it
+                # is unmapped automatically when the UC is destroyed.
+                node.network.connect_uc(uc)
+                result = uc.accept_connection()
+                pages_copied += result.pages_copied
+                yield env.timeout(charge(STAGE_CONNECT, costs.tcp_connect_ms))
+
+                if path is InvocationPath.COLD:
+                    yield env.timeout(
+                        charge(STAGE_FAULTS, costs.cold_deploy_fault_ms)
+                    )
+                    if not runtime_record.ao_level.network:
+                        yield env.timeout(
+                            charge(
+                                STAGE_NETWORK_FIRST_USE, costs.network_first_use_ms
+                            )
+                        )
+                    result = uc.import_function(fn.key, fn.code_kb)
+                    pages_copied += result.pages_copied
+                    yield env.timeout(
+                        charge(STAGE_IMPORT, costs.import_compile_ms(fn.code_kb))
+                    )
+                    if not runtime_record.ao_level.interpreter:
+                        yield env.timeout(
+                            charge(
+                                STAGE_INTERP_FIRST_USE,
+                                costs.interpreter_first_use_ms,
+                            )
+                        )
+                    snapshot = uc.capture_snapshot(
+                        f"fn:{fn.key}",
+                        trigger_label="code_compiled",
+                        flatten=not node.config.snapshot_stacks,
+                    )
+                    yield env.timeout(
+                        charge(
+                            STAGE_CAPTURE, costs.snapshot_capture_ms(snapshot.size_mb)
+                        )
+                    )
+                    if injector is not None and injector.snapshot_corrupts_on_capture():
+                        # A bad capture: the damage surfaces at the next
+                        # restore's checksum validation, not now.
+                        snapshot.corrupt()
+                        root.event(
+                            "fault.snapshot_corrupted_on_capture",
+                            at=env.now,
+                            key=fn.key,
+                        )
+                    if not node.snapshot_cache.put(fn.key, snapshot):
+                        # Lost the insertion race to a concurrent cold start;
+                        # reap this duplicate when its UC is destroyed.
+                        snapshot.mark_orphan()
+                    reached(InvocationStage.CODE_IMPORTED)
+                else:  # WARM
+                    uc.restore_function(fn.key, fn.code_kb)
+                    # Warm-path COW cost scales with the function *diff*;
+                    # for a flattened snapshot (no lineage) the diff is its
+                    # size over the shared runtime image.
+                    diff_mb = fn_snapshot.size_mb
+                    if fn_snapshot.parent is None:
+                        diff_mb = max(
+                            0.0,
+                            fn_snapshot.size_mb - runtime_record.snapshot.size_mb,
+                        )
+                    yield env.timeout(
+                        charge(
+                            STAGE_FAULTS,
+                            costs.warm_fault_ms(
+                                diff_mb,
+                                runtime_record.ao_level.interpreter,
+                            ),
+                        )
+                    )
+                    # Inherited through the function snapshot.
+                    reached(InvocationStage.CODE_IMPORTED)
+            else:
+                reached(InvocationStage.CODE_IMPORTED)  # resident in the idle UC
+
+            # -- common tail: args, execute, result -------------------------
+            result = uc.import_args()
+            pages_copied += result.pages_copied
+            yield env.timeout(charge(STAGE_ARGS, costs.arg_import_ms))
+            reached(InvocationStage.ARGUMENTS_LOADED)
+
+            result = uc.execute(fn.exec_write_pages)
+            pages_copied += result.pages_copied
+            exec_ms = fn.exec_ms
+            if injector is not None and injector.core_runs_slow():
+                # Degraded-core fault: the body runs, just slower.
+                exec_ms *= injector.plan.slow_core_factor
+                root.event(
+                    "fault.slow_core",
+                    at=env.now,
+                    factor=injector.plan.slow_core_factor,
+                )
+            yield env.timeout(charge(STAGE_EXEC, exec_ms))
+            if fn.io_wait_ms > 0:
+                # Blocked on external I/O: the poll-based UC releases its
+                # core while waiting.
+                node.cores.release(core)
+                core = None
+                yield env.timeout(charge(STAGE_IO_WAIT, fn.io_wait_ms))
+                core = node.cores.request()
+                queue_started = env.now
+                yield core
+                root.done(STAGE_QUEUE_WAIT, queue_started, env.now)
+            reached(InvocationStage.EXECUTED)
+            yield env.timeout(charge(STAGE_RESULT, costs.result_return_ms))
+            reached(InvocationStage.RESULT_RETURNED)
+        except OutOfMemoryError as exc:
+            if uc is not None:
+                uc.destroy()
+            node.stats.errors += 1
+            root.annotate(path=InvocationPath.ERROR.value, error="oom")
+            return NodeInvocation(
+                path=InvocationPath.ERROR,
+                success=False,
+                latency_ms=env.now - started,
+                breakdown=breakdown,
+                pages_copied=pages_copied,
+                error=f"out of memory during {path.value} path: {exc}",
+                function_key=fn.key,
+            )
+        finally:
+            if core is not None:
+                node.cores.release(core)
+
+        # -- cache the idle UC for hot reuse --------------------------------
+        cached = node.config.cache_idle_ucs and node.uc_cache.put(fn.key, uc)
+        if not cached:
             uc.destroy()
-        node.stats.errors += 1
+
+        node.stats.count(path)
+        root.annotate(success=True, pages_copied=pages_copied)
         return NodeInvocation(
-            path=InvocationPath.ERROR,
-            success=False,
+            path=path,
+            success=True,
             latency_ms=env.now - started,
             breakdown=breakdown,
             pages_copied=pages_copied,
-            error=f"out of memory during {path.value} path: {exc}",
             function_key=fn.key,
+            stage_times=stage_times,
         )
     finally:
-        if core is not None:
-            node.cores.release(core)
-
-    # -- cache the idle UC for hot reuse --------------------------------
-    cached = node.config.cache_idle_ucs and node.uc_cache.put(fn.key, uc)
-    if not cached:
-        uc.destroy()
-
-    node.stats.count(path)
-    return NodeInvocation(
-        path=path,
-        success=True,
-        latency_ms=env.now - started,
-        breakdown=breakdown,
-        pages_copied=pages_copied,
-        function_key=fn.key,
-        stage_times=stage_times,
-    )
+        root.finish(at=env.now)

@@ -31,6 +31,7 @@ from repro.seuss.invoker import invoke_on_node
 from repro.seuss.snapshots import SnapshotCache
 from repro.seuss.uc_cache import IdleUCCache
 from repro.sim import Environment, Process, Resource
+from repro.trace import tracer_for
 from repro.unikernel.context import UnikernelContext
 from repro.unikernel.interpreters import RuntimeSpec, get_runtime
 from repro.unikernel.rumprun import boot_stages
@@ -99,36 +100,67 @@ class SeussNode:
         Run with ``env.process(node.initialize())`` then
         ``env.run(until=...)``, or via :meth:`initialize_sync`.
         """
-        for name in self.config.runtimes:
-            runtime = get_runtime(name)
-            boot_uc = UnikernelContext(
-                self.allocator, runtime, name=f"boot-{name}"
-            )
-            boot = boot_stages(runtime, self.costs.seuss)
-            yield self.env.timeout(boot.total_ms)
-            boot_uc.boot()
-            ao_report = apply_anticipatory_optimizations(
-                boot_uc, self.config.ao_level, self.costs.seuss
-            )
-            if ao_report.time_spent_ms:
-                yield self.env.timeout(ao_report.time_spent_ms)
-            snapshot = boot_uc.capture_snapshot(
-                f"runtime:{name}", trigger_label="driver_started"
-            )
-            yield self.env.timeout(
-                self.costs.seuss.snapshot_capture_ms(snapshot.size_mb)
-            )
-            # The node holds the runtime snapshot for its lifetime.
-            snapshot.retain()
-            self._runtimes[name] = RuntimeRecord(
-                runtime=runtime,
-                snapshot=snapshot,
-                ao_level=self.config.ao_level,
-                ao_report=ao_report,
-                boot_ms=boot.total_ms,
-            )
-            boot_uc.destroy()
-        self.initialized = True
+        tracer = tracer_for(self.env)
+        root = tracer.span(
+            "node_init",
+            at=self.env.now,
+            category="node",
+            runtimes=list(self.config.runtimes),
+        )
+        try:
+            for name in self.config.runtimes:
+                rt_span = root.span(
+                    f"boot_runtime:{name}",
+                    at=self.env.now,
+                    category="boot",
+                    runtime=name,
+                )
+                runtime = get_runtime(name)
+                boot_uc = UnikernelContext(
+                    self.allocator, runtime, name=f"boot-{name}"
+                )
+                boot = boot_stages(runtime, self.costs.seuss)
+                rt_span.done("boot", self.env.now, self.env.now + boot.total_ms)
+                yield self.env.timeout(boot.total_ms)
+                boot_uc.boot()
+                ao_report = apply_anticipatory_optimizations(
+                    boot_uc, self.config.ao_level, self.costs.seuss
+                )
+                if ao_report.time_spent_ms:
+                    rt_span.done(
+                        "anticipatory_optimization",
+                        self.env.now,
+                        self.env.now + ao_report.time_spent_ms,
+                        level=self.config.ao_level.value,
+                    )
+                    yield self.env.timeout(ao_report.time_spent_ms)
+                snapshot = boot_uc.capture_snapshot(
+                    f"runtime:{name}", trigger_label="driver_started"
+                )
+                capture_ms = self.costs.seuss.snapshot_capture_ms(
+                    snapshot.size_mb
+                )
+                rt_span.done(
+                    "snapshot_capture",
+                    self.env.now,
+                    self.env.now + capture_ms,
+                    size_mb=snapshot.size_mb,
+                )
+                yield self.env.timeout(capture_ms)
+                # The node holds the runtime snapshot for its lifetime.
+                snapshot.retain()
+                self._runtimes[name] = RuntimeRecord(
+                    runtime=runtime,
+                    snapshot=snapshot,
+                    ao_level=self.config.ao_level,
+                    ao_report=ao_report,
+                    boot_ms=boot.total_ms,
+                )
+                boot_uc.destroy()
+                rt_span.finish(at=self.env.now)
+            self.initialized = True
+        finally:
+            root.finish(at=self.env.now)
 
     def initialize_sync(self) -> None:
         """Initialize on a fresh environment, running it to completion."""

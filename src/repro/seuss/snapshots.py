@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.mem.snapshot import Snapshot
+from repro.trace import current as _active_tracer
 from repro.units import mb_to_pages, pages_to_mb
 
 
@@ -77,9 +78,11 @@ class SnapshotCache:
         snapshot = self._entries.get(key)
         if snapshot is None:
             self.stats.misses += 1
+            _active_tracer().event("snapshot_cache.miss", key=key)
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        _active_tracer().event("snapshot_cache.hit", key=key)
         return snapshot
 
     def put(self, key: str, snapshot: Snapshot) -> bool:
@@ -97,6 +100,10 @@ class SnapshotCache:
         self._entries[key] = snapshot
         self._held_pages += footprint
         self.stats.insertions += 1
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event("snapshot_cache.insert", key=key, pages=footprint)
+            tracer.gauge("snapshot_cache.held_mb", self.held_mb)
         return True
 
     def _make_room(self, needed_pages: int) -> None:
@@ -127,6 +134,10 @@ class SnapshotCache:
         snapshot.delete()
         self._held_pages -= footprint
         self.stats.evictions += 1
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event("snapshot_cache.evict", key=key, pages=footprint)
+            tracer.gauge("snapshot_cache.held_mb", self.held_mb)
         if self.evict_listener is not None:
             self.evict_listener(key)
         return True
@@ -148,6 +159,7 @@ class SnapshotCache:
             return False
         self._held_pages -= snapshot.footprint_pages
         self.stats.quarantined += 1
+        _active_tracer().event("snapshot_cache.quarantine", key=key)
         self._drop_idle(key)
         snapshot.release()
         if not snapshot.deleted:

@@ -15,6 +15,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Optional
 
+from repro.trace import current as _active_tracer
 from repro.unikernel.context import UCState, UnikernelContext
 
 
@@ -58,6 +59,10 @@ class IdleUCCache:
         self._idle.move_to_end(key)
         self._count += 1
         self.stats.cached += 1
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event("uc_cache.cached", key=key)
+            tracer.gauge("uc_cache.idle_ucs", self._count)
         return True
 
     def pop(self, key: str) -> Optional[UnikernelContext]:
@@ -72,6 +77,10 @@ class IdleUCCache:
         else:
             self._idle.move_to_end(key)
         self.stats.hot_hits += 1
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event("uc_cache.hot_hit", key=key)
+            tracer.gauge("uc_cache.idle_ucs", self._count)
         return uc
 
     # -- reclamation -----------------------------------------------------
@@ -91,6 +100,7 @@ class IdleUCCache:
                 del self._idle[key]
             freed += uc.destroy()
             self.stats.reclaimed += 1
+            _active_tracer().event("uc_cache.reclaimed", key=key)
         return freed
 
     def drop_function(self, key: str) -> int:

@@ -1,0 +1,44 @@
+"""Invocation tracing on the simulated clock (§7 decomposition).
+
+The tracer records nested spans, instant events and counters stamped
+with sim-time milliseconds, without ever touching the event schedule —
+a traced run is byte-identical to an untraced one.  Analysis turns the
+span trees into the paper's per-stage latency decomposition; exporters
+write Perfetto-loadable Chrome trace-event JSON and ASCII waterfalls.
+
+Typical use::
+
+    from repro.trace import Tracer
+    from repro.trace.export import write_chrome_trace
+
+    tracer = Tracer().attach(env)     # instrumentation now records
+    node.invoke_sync(nop_function())
+    tracer.detach(env)
+    write_chrome_trace("trace.json", tracer)   # load in Perfetto
+"""
+
+from repro.trace.tracer import (
+    NULL_TRACER,
+    CounterSample,
+    NullTracer,
+    Span,
+    TraceEvent,
+    Tracer,
+    current,
+    disable,
+    enable,
+    tracer_for,
+)
+
+__all__ = [
+    "CounterSample",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "current",
+    "disable",
+    "enable",
+    "tracer_for",
+]

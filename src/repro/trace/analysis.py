@@ -1,0 +1,181 @@
+"""Span-tree analysis: critical paths, stage aggregation, breakdowns.
+
+The §7 latency decomposition of the paper is reconstructed here from
+recorded spans: every invocation's root span is segmented into its
+stage children (the *critical path*), stages are aggregated across a
+run, and the cold/warm/hot table the ``latency`` experiment prints is
+assembled from those aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.tracer import Span, Tracer
+
+#: Residual below this is float rounding, not a coverage gap (ms).
+COVERAGE_EPSILON = 1e-6
+
+#: Label for time inside a span not covered by any child span.
+SELF_TIME = "(self)"
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One leg of a critical path: a leaf interval inside the root."""
+
+    name: str
+    start_ms: float
+    end_ms: float
+    depth: int
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True)
+class StageStat:
+    """Aggregate of one stage name across many invocations."""
+
+    name: str
+    count: int
+    total_ms: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+
+def critical_path(tracer: Tracer, root: Span) -> List[PathSegment]:
+    """Segment ``root`` into leaf intervals, in time order.
+
+    Descends into children wherever they cover the parent; intervals no
+    child covers are attributed to the parent as ``(self)`` segments.
+    For the sequential stage spans the invoker records this is exactly
+    the per-stage waterfall; overlapping children (concurrent work)
+    are handled by always descending into the earliest-starting child.
+    """
+    if not root.finished:
+        raise ValueError(f"span {root.name!r} is still open")
+    segments: List[PathSegment] = []
+
+    def descend(span: Span, depth: int) -> None:
+        children = sorted(
+            (c for c in tracer.children(span) if c.finished),
+            key=lambda c: (c.start_ms, c.span_id),
+        )
+        cursor = span.start_ms
+        for child in children:
+            start = max(child.start_ms, cursor)
+            if start > cursor:
+                segments.append(
+                    PathSegment(SELF_TIME, cursor, start, depth)
+                )
+            descend(child, depth + 1)
+            cursor = max(cursor, child.end_ms)
+        if cursor < span.end_ms:
+            segments.append(
+                PathSegment(SELF_TIME, cursor, span.end_ms, depth)
+            )
+        if not children:
+            # A leaf *is* its own segment; replace the self filler.
+            if segments and segments[-1].name == SELF_TIME and (
+                segments[-1].start_ms == span.start_ms
+                and segments[-1].end_ms == span.end_ms
+                and segments[-1].depth == depth
+            ):
+                segments.pop()
+            segments.append(
+                PathSegment(span.name, span.start_ms, span.end_ms, depth)
+            )
+
+    descend(root, 0)
+    return segments
+
+
+def coverage_residual(tracer: Tracer, root: Span) -> float:
+    """Root duration minus the summed durations of its direct children.
+
+    Zero (within float rounding) means the stage spans decompose the
+    end-to-end latency exactly — the property the ``latency``
+    experiment asserts for every traced invocation.
+    """
+    if not root.finished:
+        raise ValueError(f"span {root.name!r} is still open")
+    covered = sum(
+        child.duration_ms
+        for child in tracer.children(root)
+        if child.finished
+    )
+    return root.duration_ms - covered
+
+
+def stage_totals(
+    tracer: Tracer, roots: Sequence[Span]
+) -> Dict[str, StageStat]:
+    """Aggregate direct-child stage durations across ``roots``.
+
+    Returns stage name -> :class:`StageStat`, in first-seen order.
+    """
+    order: List[str] = []
+    counts: Dict[str, int] = {}
+    totals: Dict[str, float] = {}
+    for root in roots:
+        for child in tracer.children(root):
+            if not child.finished:
+                continue
+            if child.name not in counts:
+                order.append(child.name)
+                counts[child.name] = 0
+                totals[child.name] = 0.0
+            counts[child.name] += 1
+            totals[child.name] += child.duration_ms
+    return {
+        name: StageStat(name=name, count=counts[name], total_ms=totals[name])
+        for name in order
+    }
+
+
+def group_by_attr(
+    roots: Sequence[Span], attr: str
+) -> Dict[str, List[Span]]:
+    """Partition roots by one attribute value (e.g. ``path``)."""
+    groups: Dict[str, List[Span]] = {}
+    for root in roots:
+        key = str(root.attrs.get(attr, "?"))
+        groups.setdefault(key, []).append(root)
+    return groups
+
+
+def breakdown_rows(
+    tracer: Tracer,
+    roots: Sequence[Span],
+    group_attr: str = "path",
+    group_order: Optional[Sequence[str]] = None,
+) -> List[Tuple[str, str, float, float]]:
+    """The §7-style decomposition table rows from invocation roots.
+
+    Returns ``(group, stage, mean_ms, share_percent)`` rows: one row
+    per stage per group plus an ``end-to-end`` summary row per group.
+    Shares are of the group's mean end-to-end latency.
+    """
+    groups = group_by_attr(roots, group_attr)
+    if group_order is None:
+        names = list(groups)
+    else:
+        names = [name for name in group_order if name in groups]
+        names += [name for name in groups if name not in names]
+    rows: List[Tuple[str, str, float, float]] = []
+    for name in names:
+        members = [root for root in groups[name] if root.finished]
+        if not members:
+            continue
+        end_to_end = sum(root.duration_ms for root in members) / len(members)
+        for stage in stage_totals(tracer, members).values():
+            mean = stage.total_ms / len(members)
+            share = 100.0 * mean / end_to_end if end_to_end else 0.0
+            rows.append((name, stage.name, mean, share))
+        rows.append((name, "end-to-end", end_to_end, 100.0))
+    return rows

@@ -1,0 +1,204 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto) and ASCII.
+
+The JSON exporter emits the `Trace Event Format`_ that Perfetto and
+``chrome://tracing`` load directly: complete (``X``) events for spans,
+instant (``i``) events, counter (``C``) events, and metadata (``M``)
+events naming the process and per-invocation tracks.  Simulated
+milliseconds map to trace microseconds (``ts = ms * 1000``), rounded to
+three decimals so exported files are byte-stable across runs.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.metrics.ascii_plot import WaterfallRow, span_waterfall
+from repro.trace.tracer import GLOBAL_TRACK, Span, Tracer
+
+#: The fixed pid all events carry (one simulated process).
+TRACE_PID = 0
+
+
+def _us(ms: float) -> float:
+    """Sim milliseconds -> trace microseconds (3-decimal stable)."""
+    return round(ms * 1000.0, 3)
+
+
+def _args(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON-safe copy of span/event attributes, insertion-ordered."""
+    safe: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            safe[key] = value
+        else:
+            safe[key] = str(value)
+    return safe
+
+
+def track_labels(tracer: Tracer) -> Dict[int, str]:
+    """Display name per track: the root span that opened it."""
+    labels: Dict[int, str] = {GLOBAL_TRACK: "events+counters"}
+    for span in tracer.roots():
+        if span.track in labels:
+            continue
+        suffix = span.attrs.get("function") or span.attrs.get("request_id")
+        label = f"{span.name}:{suffix}" if suffix is not None else span.name
+        labels[span.track] = f"{label} [{span.track}]"
+    return labels
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list: metadata first, then time-ordered data."""
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": GLOBAL_TRACK,
+            "args": {"name": "seuss-repro (sim clock)"},
+        }
+    ]
+    for track, label in sorted(track_labels(tracer).items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": track,
+                "args": {"name": label},
+            }
+        )
+
+    data: List[Dict[str, Any]] = []
+    for span in tracer.spans:
+        if not span.finished:
+            continue
+        data.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "pid": TRACE_PID,
+                "tid": span.track,
+                "ts": _us(span.start_ms),
+                "dur": _us(span.end_ms - span.start_ms),
+                "args": _args(span.attrs),
+            }
+        )
+    for event in tracer.events:
+        data.append(
+            {
+                "name": event.name,
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "pid": TRACE_PID,
+                "tid": event.track,
+                "ts": _us(event.ts_ms),
+                "args": _args(event.attrs),
+            }
+        )
+    for sample in tracer.counters:
+        data.append(
+            {
+                "name": sample.name,
+                "ph": "C",
+                "pid": TRACE_PID,
+                "tid": GLOBAL_TRACK,
+                "ts": _us(sample.ts_ms),
+                "args": {"value": sample.value},
+            }
+        )
+    # Stable time order: ts ties broken by recording order (enumerate
+    # is stable under sorted()).
+    data.sort(key=lambda entry: entry["ts"])
+    return events + data
+
+
+def chrome_trace_document(tracer: Tracer) -> Dict[str, Any]:
+    """The full JSON-object trace document Perfetto loads."""
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.trace",
+            "clock": "simulated-ms",
+        },
+        "traceEvents": chrome_trace_events(tracer),
+    }
+
+
+def write_chrome_trace(path: str, tracer: Tracer) -> int:
+    """Write the Perfetto-loadable JSON file; returns the event count."""
+    document = chrome_trace_document(tracer)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return len(document["traceEvents"])
+
+
+def validate_chrome_trace(document: Dict[str, Any]) -> None:
+    """Structural sanity check of an exported trace document.
+
+    Raises ``ValueError`` on malformed events or timestamps that run
+    backwards in the export order — the invariants the acceptance
+    criteria (and Perfetto's importer) rely on.
+    """
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents missing or empty")
+    last_ts = None
+    for event in events:
+        phase = event.get("ph")
+        if phase not in ("M", "X", "i", "C"):
+            raise ValueError(f"unknown phase {phase!r}")
+        if "name" not in event or "pid" not in event:
+            raise ValueError(f"event missing name/pid: {event!r}")
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"bad ts in {event!r}")
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(f"timestamps regress: {ts} after {last_ts}")
+        last_ts = ts
+        if phase == "X" and event.get("dur", -1) < 0:
+            raise ValueError(f"negative duration in {event!r}")
+
+
+def waterfall_rows(
+    tracer: Tracer, root: Span, max_depth: Optional[int] = None
+) -> List[WaterfallRow]:
+    """Pre-order ``(depth, label, start, end)`` rows under ``root``."""
+    rows: List[WaterfallRow] = []
+
+    def walk(span: Span, depth: int) -> None:
+        if not span.finished:
+            return
+        rows.append((depth, span.name, span.start_ms, span.end_ms))
+        if max_depth is not None and depth >= max_depth:
+            return
+        for child in sorted(
+            tracer.children(span), key=lambda c: (c.start_ms, c.span_id)
+        ):
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return rows
+
+
+def ascii_waterfall(
+    tracer: Tracer, root: Span, width: int = 44, title: Optional[str] = None
+) -> str:
+    """Render one span tree as the ASCII stage waterfall."""
+    if title is None:
+        extras = ", ".join(
+            f"{key}={value}"
+            for key, value in root.attrs.items()
+            if isinstance(value, (int, float, str, bool))
+        )
+        title = f"{root.name} ({extras})" if extras else root.name
+    return span_waterfall(waterfall_rows(tracer, root), width=width, title=title)

@@ -113,3 +113,64 @@ class TestExperimentResultBase:
         text = result.to_text()
         assert "id1" in text and "Title Here" in text
         assert "h1" in text and "note here" in text
+
+
+class TestSuiteJsonLoader:
+    """load_suite_json accepts v1-v3 artifacts and normalizes to v3."""
+
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_v3_roundtrip(self, tmp_path):
+        from repro.experiments.suite import SuiteResult
+        from repro.metrics.export import (
+            SCHEMA_VERSION,
+            load_suite_json,
+            write_suite_json,
+        )
+
+        suite = SuiteResult(profile="smoke", parallel=1, seed=7)
+        suite.trace_enabled = True
+        suite.trace_path = "trace.json"
+        path = str(tmp_path / "v3.json")
+        write_suite_json(path, suite)
+        loaded = load_suite_json(path)
+        assert loaded["schema_version"] == SCHEMA_VERSION == 3
+        assert loaded["trace"] == {"enabled": True, "path": "trace.json"}
+
+    def test_v2_gets_trace_default(self, tmp_path):
+        from repro.metrics.export import load_suite_json
+
+        path = self._write(
+            tmp_path,
+            {"schema_version": 2, "profile": "quick", "experiments": []},
+        )
+        loaded = load_suite_json(path)
+        assert loaded["schema_version"] == 2
+        assert loaded["trace"] == {"enabled": False, "path": None}
+
+    def test_v1_bare_document(self, tmp_path):
+        from repro.metrics.export import load_suite_json
+
+        path = self._write(tmp_path, {"experiments": []})
+        loaded = load_suite_json(path)
+        assert loaded["schema_version"] == 1
+        assert loaded["trace"] == {"enabled": False, "path": None}
+
+    def test_unknown_version_rejected(self, tmp_path):
+        from repro.metrics.export import load_suite_json
+
+        path = self._write(
+            tmp_path, {"schema_version": 99, "experiments": []}
+        )
+        with pytest.raises(ValueError, match="unsupported schema_version"):
+            load_suite_json(path)
+
+    def test_non_suite_document_rejected(self, tmp_path):
+        from repro.metrics.export import load_suite_json
+
+        path = self._write(tmp_path, {"rows": []})
+        with pytest.raises(ValueError, match="not a suite artifact"):
+            load_suite_json(path)

@@ -1,0 +1,147 @@
+"""Trace exporters: golden Chrome JSON, validation, ASCII waterfall."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.metrics.ascii_plot import span_waterfall
+from repro.trace import Tracer
+from repro.trace.export import (
+    ascii_waterfall,
+    chrome_trace_document,
+    chrome_trace_events,
+    track_labels,
+    validate_chrome_trace,
+    waterfall_rows,
+    write_chrome_trace,
+)
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "data", "trace_golden.json"
+)
+
+
+def golden_tracer() -> Tracer:
+    """A small, fully deterministic trace (the golden file's source).
+
+    One cold-ish invocation with three stages, a cache event and two
+    counter samples — every exporter feature in a dozen events.
+    """
+    tracer = Tracer()
+    root = tracer.span(
+        "invocation", at=1.5, category="invocation",
+        function="demo/nop", path="cold",
+    )
+    root.done("uc_create", 1.5, 1.75)
+    root.done("import_compile", 1.75, 5.25)
+    root.done("execute", 5.25, 6.0)
+    tracer.event("snapshot_cache.miss", at=1.5, key="demo/nop")
+    tracer.counter("mem.pages_copied", 554, at=3.0)
+    tracer.counter("mem.pages_copied", 12, at=5.5)
+    root.finish(at=6.0)
+    return tracer
+
+
+class TestChromeExport:
+    def test_matches_golden_file(self):
+        document = chrome_trace_document(golden_tracer())
+        with open(GOLDEN_PATH) as handle:
+            golden = json.load(handle)
+        assert document == golden
+
+    def test_golden_file_is_byte_stable(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), golden_tracer())
+        with open(GOLDEN_PATH, "rb") as handle:
+            assert path.read_bytes() == handle.read()
+
+    def test_ms_to_us_mapping(self):
+        events = chrome_trace_events(golden_tracer())
+        uc_create = next(e for e in events if e["name"] == "uc_create")
+        assert uc_create["ts"] == 1500.0  # 1.5 ms -> 1500 us
+        assert uc_create["dur"] == 250.0  # 0.25 ms -> 250 us
+        assert uc_create["ph"] == "X"
+
+    def test_metadata_precedes_timestamped_data(self):
+        events = chrome_trace_events(golden_tracer())
+        phases = [e["ph"] for e in events]
+        first_data = phases.index("X")
+        assert all(ph == "M" for ph in phases[:first_data])
+        data_ts = [e["ts"] for e in events[first_data:]]
+        assert data_ts == sorted(data_ts)
+
+    def test_counter_events_carry_running_total(self):
+        events = chrome_trace_events(golden_tracer())
+        counters = [e for e in events if e["ph"] == "C"]
+        assert [c["args"]["value"] for c in counters] == [554, 566]
+
+    def test_track_labels_name_roots(self):
+        labels = track_labels(golden_tracer())
+        assert labels[0] == "events+counters"
+        assert labels[1] == "invocation:demo/nop [1]"
+
+    def test_validate_accepts_golden(self):
+        validate_chrome_trace(chrome_trace_document(golden_tracer()))
+
+    def test_validate_rejects_regressing_ts(self):
+        document = chrome_trace_document(golden_tracer())
+        document["traceEvents"][-1]["ts"] = -1.0
+        with pytest.raises(ValueError):
+            validate_chrome_trace(document)
+
+    def test_validate_rejects_unknown_phase(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "pid": 0, "ph": "Z"}]}
+            )
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_unfinished_spans_are_skipped(self):
+        tracer = Tracer()
+        tracer.span("open", at=0.0)  # never finished
+        tracer.event("tick", at=1.0)
+        events = chrome_trace_events(tracer)
+        assert not any(e["ph"] == "X" for e in events)
+        assert any(e["ph"] == "i" for e in events)
+
+
+class TestAsciiWaterfall:
+    def test_snapshot(self):
+        tracer = golden_tracer()
+        (root,) = tracer.roots()
+        rendered = ascii_waterfall(tracer, root, width=40)
+        assert rendered == (
+            "invocation (function=demo/nop, path=cold)\n"
+            "                 |0.000 ms                        4.500 ms|\n"
+            "invocation       |======================================= |     4.500 ms\n"
+            "  uc_create      |==                                      |     0.250 ms\n"
+            "  import_compile |  ==============================        |     3.500 ms\n"
+            "  execute        |                                ======= |     0.750 ms"
+        )
+
+    def test_rows_are_preorder(self):
+        tracer = golden_tracer()
+        (root,) = tracer.roots()
+        rows = waterfall_rows(tracer, root)
+        assert [r[1] for r in rows] == [
+            "invocation", "uc_create", "import_compile", "execute"
+        ]
+        assert [r[0] for r in rows] == [0, 1, 1, 1]
+
+    def test_max_depth_cuts_children(self):
+        tracer = golden_tracer()
+        (root,) = tracer.roots()
+        assert waterfall_rows(tracer, root, max_depth=0) == [
+            (0, "invocation", 1.5, 6.0)
+        ]
+
+    def test_empty_and_narrow(self):
+        assert "(no spans)" in span_waterfall([])
+        with pytest.raises(ValueError):
+            span_waterfall([(0, "x", 0.0, 1.0)], width=5)
