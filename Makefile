@@ -1,6 +1,6 @@
 # Development entry points.
 
-.PHONY: install test bench chaos repro repro-quick trace examples clean
+.PHONY: install test bench perfgate chaos repro repro-quick trace examples clean
 
 install:
 	pip install -e .
@@ -16,6 +16,13 @@ bench:
 	pytest benchmarks/ --benchmark-only --benchmark-json=.bench-micro.json
 	python -m benchmarks.perf_trajectory --micro .bench-micro.json \
 		--out $(BENCH_ARTIFACT)
+
+# Hot-path microbenchmarks gated against the committed baseline
+# (benchmarks/perf_baseline.json).  Fails on >25% score regression;
+# refresh the baseline with:
+#   python -m benchmarks.perf_gate --update-baseline
+perfgate:
+	python -m benchmarks.perf_gate --check --out perf-gate.json
 
 # Fault-injection acceptance suite + degradation sweep (fixed seeds).
 chaos:
@@ -43,5 +50,5 @@ examples:
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis \
-		.bench-micro.json trace-latency.json
+		.bench-micro.json trace-latency.json perf-gate.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

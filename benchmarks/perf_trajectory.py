@@ -32,26 +32,48 @@ from repro.experiments import load_all
 from repro.experiments.suite import run_suite
 
 #: Artifact schema; bump on breaking changes.
-BENCH_SCHEMA_VERSION = 1
+#: v2: suite records ``cpu_count`` and nulls the serial-vs-parallel
+#: speedup on single-core hosts; perf-gate scores ride along.
+BENCH_SCHEMA_VERSION = 2
 
 
 def measure_suite(profile: str, parallel: int) -> dict:
-    """Run the suite twice (serial, parallel) and report wall-clocks."""
+    """Run the suite twice (serial, parallel) and report wall-clocks.
+
+    On a single-core host the serial-vs-parallel wall-clock comparison
+    only measures executor overhead, not a speedup; the parallel run is
+    kept (it still verifies byte-identical tables) but the speedup is
+    recorded as ``None`` with an explanatory note so single-core data
+    points don't pollute the cross-PR trajectory.
+    """
+    cpu_count = os.cpu_count() or 1
     ids = load_all().ids()
     serial = run_suite(ids, profile=profile, parallel=1)
     wide = run_suite(ids, profile=profile, parallel=parallel)
     identical = [o.text for o in serial.outcomes] == [
         o.text for o in wide.outcomes
     ]
+    comparable = cpu_count > 1
+    if comparable and wide.wall_clock_s:
+        speedup = round(serial.wall_clock_s / wide.wall_clock_s, 3)
+        speedup_note = None
+    else:
+        speedup = None
+        speedup_note = (
+            f"cpu_count == {cpu_count}: serial-vs-parallel wall-clock "
+            "is not a meaningful comparison on this host"
+            if not comparable
+            else "parallel wall-clock was zero"
+        )
     return {
         "profile": profile,
         "experiments": len(ids),
+        "cpu_count": cpu_count,
         "serial_wall_clock_s": round(serial.wall_clock_s, 3),
         "parallel_wall_clock_s": round(wide.wall_clock_s, 3),
         "parallel_workers": parallel,
-        "speedup": round(serial.wall_clock_s / wide.wall_clock_s, 3)
-        if wide.wall_clock_s
-        else None,
+        "speedup": speedup,
+        "speedup_note": speedup_note,
         "tables_byte_identical": identical,
         "failures": sorted(
             {o.experiment_id for o in serial.failed + wide.failed}
@@ -127,6 +149,20 @@ def ingest_micro(path: Optional[str]) -> List[dict]:
     return micro
 
 
+def measure_perf_gate() -> dict:
+    """Run the hot-path perf-gate suite and ride its scores along."""
+    from benchmarks.perf_gate import run_benchmarks
+
+    payload = run_benchmarks(repeat=2)
+    return {
+        "calibration_ops_per_s": payload["calibration_ops_per_s"],
+        "benchmarks": {
+            name: {"ops_per_s": b["ops_per_s"], "score": b["score"]}
+            for name, b in payload["benchmarks"].items()
+        },
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Write the perf-trajectory BENCH artifact"
@@ -144,10 +180,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=min(4, os.cpu_count() or 1),
         help="parallel width for the suite comparison (default: cores, max 4)",
     )
+    parser.add_argument(
+        "--skip-perf-gate",
+        action="store_true",
+        help="omit the hot-path perf-gate microbenchmarks",
+    )
     args = parser.parse_args(argv)
 
     suite = measure_suite(args.profile, args.parallel)
     tracing = measure_tracing_overhead()
+    perf_gate = None if args.skip_perf_gate else measure_perf_gate()
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "kind": "seuss-repro-bench",
@@ -159,15 +201,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         },
         "suite": suite,
         "tracing": tracing,
+        "perf_gate": perf_gate,
         "micro": ingest_micro(args.micro),
     }
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2)
+    speedup = (
+        f"speedup {suite['speedup']}x"
+        if suite["speedup"] is not None
+        else f"speedup n/a ({suite['cpu_count']} cpu)"
+    )
     print(
         f"wrote {args.out}: suite serial {suite['serial_wall_clock_s']}s, "
         f"parallel({suite['parallel_workers']}) "
         f"{suite['parallel_wall_clock_s']}s "
-        f"(speedup {suite['speedup']}x, "
+        f"({speedup}, "
         f"identical={suite['tables_byte_identical']}), "
         f"tracing overhead {tracing['overhead_ratio']}x, "
         f"{len(payload['micro'])} microbenchmarks"

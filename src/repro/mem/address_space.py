@@ -144,11 +144,9 @@ class AddressSpace:
 
     def mapped_pages(self) -> IntervalSet:
         """All pages readable in this space (stack + private)."""
-        mapped = (
-            self._base.stack_pages() if self._base is not None else IntervalSet()
-        )
-        mapped.update(self._private)
-        return mapped
+        if self._base is None:
+            return self._private.copy()
+        return self._base.stack_pages_view().union(self._private)
 
     def dirty_set(self) -> IntervalSet:
         return self._dirty.copy()
@@ -176,11 +174,15 @@ class AddressSpace:
             return WriteResult(0, 0, 0)
         stop = start + npages
         gaps = self._private.missing_in_range(start, stop)
-        copied = sum(e - s for s, e in gaps)
-        if copied:
-            self._allocator.allocate(copied, PRIVATE_CATEGORY)
+        copied = 0
+        if gaps:
             for s, e in gaps:
-                self._private.add(s, e)
+                copied += e - s
+            self._allocator.allocate(copied, PRIVATE_CATEGORY)
+            # One splice covers every gap at once: adding the full write
+            # range leaves already-private pages untouched and fills the
+            # holes, identical to adding each gap individually.
+            self._private.add(start, stop)
             self._faults += copied
             record_page_faults(copied, len(gaps))
         self._dirty.add(start, stop)
@@ -199,13 +201,14 @@ class AddressSpace:
             raise ValueError(f"negative page count {npages}")
         stop = start + npages
         private = self._private.overlap_size(start, stop)
-        if self._base is not None:
-            stack_pages = self._base.stack_pages()
-            from_stack = (
-                stack_pages.difference(self._private).overlap_size(start, stop)
-            )
-        else:
-            from_stack = 0
+        from_stack = 0
+        if self._base is not None and private < npages:
+            # Fast path: answer "in the stack but not private" directly
+            # against the memoised stack union — no temporary
+            # IntervalSet is materialised per read.
+            stack = self._base.stack_pages_view()
+            for s, e in self._private.missing_in_range(start, stop):
+                from_stack += stack.overlap_size(s, e)
         unmapped = npages - private - from_stack
         return ReadResult(
             pages_read=npages,
@@ -223,7 +226,7 @@ class AddressSpace:
         if page in self._private:
             return FaultResolution.ALREADY_PRIVATE
         in_stack = (
-            self._base is not None and self._base.resolve(page) is not None
+            self._base is not None and page in self._base.stack_pages_view()
         )
         if write:
             return (

@@ -119,16 +119,18 @@ class FrameAllocator:
             raise ValueError(f"cannot allocate {pages} pages")
         if pages == 0:
             return 0
-        shortfall = pages + self.pressure_threshold_pages - self.free_pages
-        if shortfall > 0:
+        free = self.total_pages - self._allocated
+        if pages + self.pressure_threshold_pages > free:
             self._run_reclaim(pages + self.pressure_threshold_pages)
-        if pages > self.free_pages:
+            free = self.total_pages - self._allocated
+        if pages > free:
             raise OutOfMemoryError(
-                f"requested {pages} pages, {self.free_pages} free "
+                f"requested {pages} pages, {free} free "
                 f"of {self.total_pages}"
             )
         self._allocated += pages
-        self._peak = max(self._peak, self._allocated)
+        if self._allocated > self._peak:
+            self._peak = self._allocated
         self._by_category[category] = self._by_category.get(category, 0) + pages
         return pages
 

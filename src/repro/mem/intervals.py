@@ -10,12 +10,25 @@ operate at single-page granularity — but costs O(number of extents), not
 O(number of pages).  A unikernel context writes memory in a handful of
 contiguous extents (heap growth, stack, arenas), so this is what makes
 caching 50,000+ contexts tractable in a Python simulation.
+
+Complexity guarantees (n, m = extent counts of the two operands):
+
+* ``add`` / ``discard`` — O(log n + w) where w is the number of extents
+  the edited window touches;
+* ``update`` / ``difference_update`` / ``union`` / ``intersection`` /
+  ``difference`` / ``issubset`` / ``isdisjoint`` — O(n + m) single-pass
+  linear merges (never the O(n·m) splice loop of repeated ``add``);
+* ``page_count`` / ``len`` — O(1), maintained incrementally by every
+  mutation.
+
+``generation`` is a monotonic mutation counter; derived values (e.g.
+the snapshot stack's cached page union) memoise against it.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Iterable, Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 Interval = Tuple[int, int]
 
@@ -23,11 +36,13 @@ Interval = Tuple[int, int]
 class IntervalSet:
     """A set of non-negative integers stored as disjoint intervals."""
 
-    __slots__ = ("_starts", "_stops")
+    __slots__ = ("_starts", "_stops", "_count", "_generation")
 
     def __init__(self, intervals: Iterable[Interval] = ()) -> None:
         self._starts: List[int] = []
         self._stops: List[int] = []
+        self._count = 0
+        self._generation = 0
         for start, stop in intervals:
             self.add(start, stop)
 
@@ -40,28 +55,44 @@ class IntervalSet:
             out.add(page, page + 1)
         return out
 
-    def copy(self) -> "IntervalSet":
-        out = IntervalSet()
-        out._starts = list(self._starts)
-        out._stops = list(self._stops)
+    @classmethod
+    def _from_lists(
+        cls, starts: List[int], stops: List[int], count: int
+    ) -> "IntervalSet":
+        """Adopt already-canonical interval lists (internal fast path)."""
+        out = cls.__new__(cls)
+        out._starts = starts
+        out._stops = stops
+        out._count = count
+        out._generation = 0
         return out
+
+    def copy(self) -> "IntervalSet":
+        return IntervalSet._from_lists(
+            list(self._starts), list(self._stops), self._count
+        )
 
     # -- basic queries ---------------------------------------------------
     @property
     def page_count(self) -> int:
-        """Total number of pages in the set."""
-        return sum(e - s for s, e in zip(self._starts, self._stops))
+        """Total number of pages in the set (O(1), cached)."""
+        return self._count
 
     @property
     def extent_count(self) -> int:
         """Number of disjoint intervals (a fragmentation measure)."""
         return len(self._starts)
 
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter (memoisation key for derived data)."""
+        return self._generation
+
     def __bool__(self) -> bool:
         return bool(self._starts)
 
     def __len__(self) -> int:
-        return self.page_count
+        return self._count
 
     def __contains__(self, page: int) -> bool:
         idx = bisect_right(self._starts, page) - 1
@@ -72,8 +103,10 @@ class IntervalSet:
             return NotImplemented
         return self._starts == other._starts and self._stops == other._stops
 
-    def __hash__(self) -> int:  # pragma: no cover - identity use only
-        return id(self)
+    # Content-equal sets would hash differently under the default
+    # identity hash, silently breaking dict/set use; page sets are
+    # mutable, so they are explicitly unhashable instead.
+    __hash__ = None  # type: ignore[assignment]
 
     def __iter__(self) -> Iterator[Interval]:
         return iter(self.intervals())
@@ -100,15 +133,25 @@ class IntervalSet:
             if stop == start:
                 return
             raise ValueError(f"empty or inverted interval [{start}, {stop})")
+        starts, stops = self._starts, self._stops
         # Find the window of existing intervals that touch [start, stop).
         # An interval (s, e) touches if s <= stop and e >= start.
-        lo = bisect_left(self._stops, start)
-        hi = bisect_right(self._starts, stop)
+        lo = bisect_left(stops, start)
+        hi = bisect_right(starts, stop)
         if lo < hi:
-            start = min(start, self._starts[lo])
-            stop = max(stop, self._stops[hi - 1])
-        self._starts[lo:hi] = [start]
-        self._stops[lo:hi] = [stop]
+            if starts[lo] <= start and stops[hi - 1] >= stop and hi - lo == 1:
+                return  # already fully covered: no change
+            start = min(start, starts[lo])
+            stop = max(stop, stops[hi - 1])
+            removed = 0
+            for idx in range(lo, hi):
+                removed += stops[idx] - starts[idx]
+        else:
+            removed = 0
+        starts[lo:hi] = [start]
+        stops[lo:hi] = [stop]
+        self._count += (stop - start) - removed
+        self._generation += 1
 
     def discard(self, start: int, stop: int) -> None:
         """Remove the interval ``[start, stop)`` (missing parts ignored)."""
@@ -116,36 +159,59 @@ class IntervalSet:
             if stop == start:
                 return
             raise ValueError(f"empty or inverted interval [{start}, {stop})")
-        lo = bisect_right(self._stops, start)
-        hi = bisect_left(self._starts, stop)
+        starts, stops = self._starts, self._stops
+        lo = bisect_right(stops, start)
+        hi = bisect_left(starts, stop)
         if lo >= hi:
             return
+        removed = 0
+        for idx in range(lo, hi):
+            removed += min(stop, stops[idx]) - max(start, starts[idx])
         new_starts: List[int] = []
         new_stops: List[int] = []
         # Left remnant of the first overlapped interval.
-        if self._starts[lo] < start:
-            new_starts.append(self._starts[lo])
+        if starts[lo] < start:
+            new_starts.append(starts[lo])
             new_stops.append(start)
         # Right remnant of the last overlapped interval.
-        if self._stops[hi - 1] > stop:
+        if stops[hi - 1] > stop:
             new_starts.append(stop)
-            new_stops.append(self._stops[hi - 1])
-        self._starts[lo:hi] = new_starts
-        self._stops[lo:hi] = new_stops
+            new_stops.append(stops[hi - 1])
+        starts[lo:hi] = new_starts
+        stops[lo:hi] = new_stops
+        self._count -= removed
+        self._generation += 1
 
     def clear(self) -> None:
+        if self._starts:
+            self._generation += 1
         self._starts.clear()
         self._stops.clear()
+        self._count = 0
 
     def update(self, other: "IntervalSet") -> None:
-        """In-place union with ``other``."""
-        for start, stop in other.intervals():
-            self.add(start, stop)
+        """In-place union with ``other`` (single-pass linear merge)."""
+        if not other._starts:
+            return
+        if not self._starts:
+            self._starts = list(other._starts)
+            self._stops = list(other._stops)
+            self._count = other._count
+            self._generation += 1
+            return
+        self._starts, self._stops, self._count = _merge_union(
+            self._starts, self._stops, other._starts, other._stops
+        )
+        self._generation += 1
 
     def difference_update(self, other: "IntervalSet") -> None:
-        """In-place removal of every page in ``other``."""
-        for start, stop in other.intervals():
-            self.discard(start, stop)
+        """In-place removal of every page in ``other`` (linear merge)."""
+        if not self._starts or not other._starts:
+            return
+        self._starts, self._stops, self._count = _merge_difference(
+            self._starts, self._stops, other._starts, other._stops
+        )
+        self._generation += 1
 
     # -- set algebra ---------------------------------------------------
     def intersect_range(self, start: int, stop: int) -> List[Interval]:
@@ -153,9 +219,10 @@ class IntervalSet:
         if stop <= start:
             return []
         out: List[Interval] = []
-        lo = bisect_right(self._stops, start)
-        for idx in range(lo, len(self._starts)):
-            s, e = self._starts[idx], self._stops[idx]
+        starts, stops = self._starts, self._stops
+        lo = bisect_right(stops, start)
+        for idx in range(lo, len(starts)):
+            s, e = starts[idx], stops[idx]
             if s >= stop:
                 break
             out.append((max(s, start), min(e, stop)))
@@ -163,7 +230,17 @@ class IntervalSet:
 
     def overlap_size(self, start: int, stop: int) -> int:
         """Number of pages of ``[start, stop)`` present in the set."""
-        return sum(e - s for s, e in self.intersect_range(start, stop))
+        if stop <= start:
+            return 0
+        total = 0
+        starts, stops = self._starts, self._stops
+        lo = bisect_right(stops, start)
+        for idx in range(lo, len(starts)):
+            s, e = starts[idx], stops[idx]
+            if s >= stop:
+                break
+            total += min(e, stop) - max(s, start)
+        return total
 
     def missing_in_range(self, start: int, stop: int) -> List[Interval]:
         """Sub-intervals of ``[start, stop)`` *not* present in the set.
@@ -176,35 +253,169 @@ class IntervalSet:
             return []
         gaps: List[Interval] = []
         cursor = start
-        for s, e in self.intersect_range(start, stop):
+        starts, stops = self._starts, self._stops
+        for idx in range(bisect_right(stops, start), len(starts)):
+            s = starts[idx]
+            if s >= stop:
+                break
             if s > cursor:
                 gaps.append((cursor, s))
-            cursor = max(cursor, e)
+            cursor = stops[idx]
+            if cursor >= stop:
+                return gaps
         if cursor < stop:
             gaps.append((cursor, stop))
         return gaps
 
     def union(self, other: "IntervalSet") -> "IntervalSet":
-        out = self.copy()
-        out.update(other)
-        return out
-
-    def intersection(self, other: "IntervalSet") -> "IntervalSet":
-        out = IntervalSet()
-        for start, stop in other.intervals():
-            for s, e in self.intersect_range(start, stop):
-                out.add(s, e)
-        return out
-
-    def difference(self, other: "IntervalSet") -> "IntervalSet":
-        out = self.copy()
-        out.difference_update(other)
-        return out
-
-    def issubset(self, other: "IntervalSet") -> bool:
-        return all(
-            other.overlap_size(s, e) == e - s for s, e in self.intervals()
+        if not other._starts:
+            return self.copy()
+        if not self._starts:
+            return other.copy()
+        return IntervalSet._from_lists(
+            *_merge_union(
+                self._starts, self._stops, other._starts, other._stops
+            )
         )
 
+    def intersection(self, other: "IntervalSet") -> "IntervalSet":
+        starts: List[int] = []
+        stops: List[int] = []
+        count = 0
+        a_starts, a_stops = self._starts, self._stops
+        b_starts, b_stops = other._starts, other._stops
+        i = j = 0
+        na, nb = len(a_starts), len(b_starts)
+        while i < na and j < nb:
+            s = a_starts[i]
+            bs = b_starts[j]
+            if bs > s:
+                s = bs
+            e = a_stops[i]
+            be = b_stops[j]
+            if be < e:
+                e = be
+            if s < e:
+                starts.append(s)
+                stops.append(e)
+                count += e - s
+            if a_stops[i] <= b_stops[j]:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet._from_lists(starts, stops, count)
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        if not self._starts or not other._starts:
+            return self.copy()
+        return IntervalSet._from_lists(
+            *_merge_difference(
+                self._starts, self._stops, other._starts, other._stops
+            )
+        )
+
+    def issubset(self, other: "IntervalSet") -> bool:
+        """True when every page of this set is in ``other`` (linear)."""
+        b_starts, b_stops = other._starts, other._stops
+        nb = len(b_starts)
+        j = 0
+        for s, e in zip(self._starts, self._stops):
+            while j < nb and b_stops[j] <= s:
+                j += 1
+            if j >= nb or b_starts[j] > s or b_stops[j] < e:
+                return False
+        return True
+
     def isdisjoint(self, other: "IntervalSet") -> bool:
-        return all(other.overlap_size(s, e) == 0 for s, e in self.intervals())
+        """True when the two sets share no page (linear, early exit)."""
+        a_starts, a_stops = self._starts, self._stops
+        b_starts, b_stops = other._starts, other._stops
+        i = j = 0
+        na, nb = len(a_starts), len(b_starts)
+        while i < na and j < nb:
+            if a_stops[i] <= b_starts[j]:
+                i += 1
+            elif b_stops[j] <= a_starts[i]:
+                j += 1
+            else:
+                return False
+        return True
+
+
+def _merge_union(
+    a_starts: List[int],
+    a_stops: List[int],
+    b_starts: List[int],
+    b_stops: List[int],
+) -> Tuple[List[int], List[int], int]:
+    """Union of two canonical interval lists in one pass.
+
+    Returns new canonical ``(starts, stops, page_count)`` — adjacent and
+    overlapping runs are coalesced as they stream out.
+    """
+    starts: List[int] = []
+    stops: List[int] = []
+    count = 0
+    i = j = 0
+    na, nb = len(a_starts), len(b_starts)
+    cur_start: Optional[int] = None
+    cur_stop = 0
+    while i < na or j < nb:
+        if j >= nb or (i < na and a_starts[i] <= b_starts[j]):
+            s, e = a_starts[i], a_stops[i]
+            i += 1
+        else:
+            s, e = b_starts[j], b_stops[j]
+            j += 1
+        if cur_start is None:
+            cur_start, cur_stop = s, e
+        elif s <= cur_stop:  # overlap or adjacency: extend the run
+            if e > cur_stop:
+                cur_stop = e
+        else:
+            starts.append(cur_start)
+            stops.append(cur_stop)
+            count += cur_stop - cur_start
+            cur_start, cur_stop = s, e
+    if cur_start is not None:
+        starts.append(cur_start)
+        stops.append(cur_stop)
+        count += cur_stop - cur_start
+    return starts, stops, count
+
+
+def _merge_difference(
+    a_starts: List[int],
+    a_stops: List[int],
+    b_starts: List[int],
+    b_stops: List[int],
+) -> Tuple[List[int], List[int], int]:
+    """``a - b`` over canonical interval lists in one pass."""
+    starts: List[int] = []
+    stops: List[int] = []
+    count = 0
+    j = 0
+    nb = len(b_starts)
+    for s, e in zip(a_starts, a_stops):
+        # Skip subtrahend intervals wholly before this minuend interval.
+        while j < nb and b_stops[j] <= s:
+            j += 1
+        cursor = s
+        k = j
+        while k < nb and b_starts[k] < e:
+            bs, be = b_starts[k], b_stops[k]
+            if bs > cursor:
+                starts.append(cursor)
+                stops.append(bs)
+                count += bs - cursor
+            if be >= e:
+                cursor = e
+                break
+            if be > cursor:
+                cursor = be
+            k += 1
+        if cursor < e:
+            starts.append(cursor)
+            stops.append(e)
+            count += e - cursor
+    return starts, stops, count

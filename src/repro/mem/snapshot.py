@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SnapshotCorruptionError, SnapshotError
 from repro.mem.frames import FrameAllocator
@@ -86,6 +86,13 @@ class Snapshot:
         # ``_corrupted``, standing in for bit rot in the stored frames.
         self._checksum = content_checksum(name, self._pages, self.cpu)
         self._corrupted = False
+        # Memoised union of the stack's pages, keyed by the summed
+        # generation counters of every page set in the chain (snapshots
+        # are immutable, so in practice the cache is built once).
+        self._stack_cache: Optional[IntervalSet] = None
+        self._stack_cache_token = -1
+        # Memoised recomputed checksum for verify(): (generation, crc).
+        self._checksum_memo: Optional[Tuple[int, int]] = None
         # Cloning the dirty pages into snapshot-owned frames is the
         # capture step; the frames are held until the snapshot is deleted.
         allocator.allocate(self._pages.page_count, SNAPSHOT_CATEGORY)
@@ -159,15 +166,43 @@ class Snapshot:
         chain.reverse()
         return chain
 
+    def _stack_token(self) -> int:
+        """Invalidation key for the memoised stack union.
+
+        The summed page-set generations down the chain: any mutation of
+        any layer's pages (never happens for live snapshots, but the
+        cache does not rely on that) changes the token.
+        """
+        token = 0
+        node: Optional[Snapshot] = self
+        while node is not None:
+            token += node._pages.generation + 1
+            node = node.parent
+        return token
+
+    def stack_pages_view(self) -> IntervalSet:
+        """Shared memoised union of the stack's pages — do **not** mutate.
+
+        The overlap-query fast path: readers that only need membership
+        or overlap counts borrow this instance instead of materialising
+        a fresh union per query.
+        """
+        token = self._stack_token()
+        if self._stack_cache is None or self._stack_cache_token != token:
+            if self.parent is None:
+                union = self._pages.copy()
+            else:
+                union = self.parent.stack_pages_view().union(self._pages)
+            self._stack_cache = union
+            self._stack_cache_token = token
+        return self._stack_cache
+
     def stack_pages(self) -> IntervalSet:
-        """Union of pages mapped anywhere in the stack."""
-        total = IntervalSet()
-        for snapshot in self.stack():
-            total.update(snapshot._pages)
-        return total
+        """Union of pages mapped anywhere in the stack (a fresh copy)."""
+        return self.stack_pages_view().copy()
 
     def stack_page_count(self) -> int:
-        return self.stack_pages().page_count
+        return self.stack_pages_view().page_count
 
     def owns(self, page: int) -> bool:
         return page in self._pages
@@ -181,9 +216,21 @@ class Snapshot:
     @property
     def intact(self) -> bool:
         """Whether this snapshot (alone, not its stack) passes validation."""
-        return not self._corrupted and self._checksum == content_checksum(
-            self.name, self._pages, self.cpu
-        )
+        if self._corrupted:
+            return False
+        # The recomputation is memoised against the page set's mutation
+        # counter, so the per-restore verify walk is O(stack depth), not
+        # O(total extents) — corruption is modelled by ``_corrupted``,
+        # which bypasses the memo above.
+        generation = self._pages.generation
+        memo = self._checksum_memo
+        if memo is None or memo[0] != generation:
+            memo = (
+                generation,
+                content_checksum(self.name, self._pages, self.cpu),
+            )
+            self._checksum_memo = memo
+        return self._checksum == memo[1]
 
     def corrupt(self) -> None:
         """Simulate bit rot: the stored content no longer matches the

@@ -78,11 +78,15 @@ class SnapshotCache:
         snapshot = self._entries.get(key)
         if snapshot is None:
             self.stats.misses += 1
-            _active_tracer().event("snapshot_cache.miss", key=key)
+            tracer = _active_tracer()
+            if tracer.enabled:
+                tracer.event("snapshot_cache.miss", key=key)
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
-        _active_tracer().event("snapshot_cache.hit", key=key)
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event("snapshot_cache.hit", key=key)
         return snapshot
 
     def put(self, key: str, snapshot: Snapshot) -> bool:
@@ -159,7 +163,9 @@ class SnapshotCache:
             return False
         self._held_pages -= snapshot.footprint_pages
         self.stats.quarantined += 1
-        _active_tracer().event("snapshot_cache.quarantine", key=key)
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event("snapshot_cache.quarantine", key=key)
         self._drop_idle(key)
         snapshot.release()
         if not snapshot.deleted:

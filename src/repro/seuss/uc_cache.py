@@ -100,7 +100,9 @@ class IdleUCCache:
                 del self._idle[key]
             freed += uc.destroy()
             self.stats.reclaimed += 1
-            _active_tracer().event("uc_cache.reclaimed", key=key)
+            tracer = _active_tracer()
+            if tracer.enabled:
+                tracer.event("uc_cache.reclaimed", key=key)
         return freed
 
     def drop_function(self, key: str) -> int:

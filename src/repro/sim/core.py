@@ -15,7 +15,6 @@ the implementation here is self-contained and dependency-free.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 #: Event priorities: interrupts must preempt normal callbacks scheduled
@@ -53,6 +52,10 @@ class Event:
     *processed* once its callbacks have run.  Processes wait on events by
     yielding them.
     """
+
+    # Events are the engine's unit of allocation — tens of thousands per
+    # simulated second — so every subclass stays dict-free via __slots__.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_state", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -110,9 +113,6 @@ class Event:
         self.env._schedule(self)
         return self
 
-    def _mark_processed(self) -> None:
-        self._state = PROCESSED
-
     def __repr__(self) -> str:
         return f"<{type(self).__name__} at {id(self):#x} state={self._state}>"
 
@@ -120,18 +120,27 @@ class Event:
 class Timeout(Event):
     """An event that triggers ``delay`` milliseconds in the future."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Timeouts dominate the schedule; initialise flat (no super()
+        # chain) and go straight onto the queue already triggered.
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._state = PENDING
+        self._defused = False
+        self.delay = delay
         env._schedule(self, delay=delay)
 
 
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
@@ -148,6 +157,8 @@ class Process(Event):
     value (or the event's exception is thrown into it).  The value of
     the generator's ``return`` statement becomes the process's value.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "send"):
@@ -233,6 +244,8 @@ class Condition(Event):
     immediately but must not satisfy a condition until it fires.
     """
 
+    __slots__ = ("_events", "_outstanding")
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
@@ -267,6 +280,8 @@ class AllOf(Condition):
     Fails as soon as any component fails.
     """
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             if not event._ok:
@@ -283,6 +298,8 @@ class AllOf(Condition):
 
 class AnyOf(Condition):
     """Triggers as soon as any component event is processed."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -302,7 +319,7 @@ class Environment:
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: List = []
-        self._eid = itertools.count()
+        self._eid = 0
         self._active_process: Optional[Process] = None
         self._events_processed = 0
 
@@ -342,8 +359,9 @@ class Environment:
     ) -> None:
         if event._state == PENDING:
             event._state = TRIGGERED
+        self._eid += 1
         heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
+            self._queue, (self._now + delay, priority, self._eid, event)
         )
 
     def peek(self) -> float:
@@ -358,7 +376,7 @@ class Environment:
         self._now = when
         self._events_processed += 1
         callbacks, event.callbacks = event.callbacks, []
-        event._mark_processed()
+        event._state = PROCESSED
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:
@@ -376,30 +394,34 @@ class Environment:
         a guard against accidentally unbounded simulations (e.g. a
         monitor process that never stops).
         """
+        # The budget check is inlined into each loop (no closure call on
+        # the per-event hot path).
         budget = limit if limit is not None else -1
-
-        def spend() -> None:
-            nonlocal budget
-            if budget == 0:
-                raise SimulationError(
-                    f"event limit of {limit} reached at t={self._now}"
-                )
-            budget -= 1
+        queue = self._queue
+        step = self.step
 
         if until is None:
-            while self._queue:
-                spend()
-                self.step()
+            while queue:
+                if budget == 0:
+                    raise SimulationError(
+                        f"event limit of {limit} reached at t={self._now}"
+                    )
+                budget -= 1
+                step()
             return None
 
         if isinstance(until, Event):
             while not until.processed:
-                if not self._queue:
+                if not queue:
                     raise SimulationError(
                         "event queue empty before target event triggered"
                     )
-                spend()
-                self.step()
+                if budget == 0:
+                    raise SimulationError(
+                        f"event limit of {limit} reached at t={self._now}"
+                    )
+                budget -= 1
+                step()
             if not until._ok:
                 until._defused = True
                 raise until._value
@@ -408,8 +430,12 @@ class Environment:
         deadline = float(until)
         if deadline < self._now:
             raise ValueError(f"until={deadline} is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= deadline:
-            spend()
-            self.step()
+        while queue and queue[0][0] <= deadline:
+            if budget == 0:
+                raise SimulationError(
+                    f"event limit of {limit} reached at t={self._now}"
+                )
+            budget -= 1
+            step()
         self._now = deadline
         return None

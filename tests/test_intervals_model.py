@@ -1,0 +1,164 @@
+"""Randomized model-based test: IntervalSet vs a naive ``set[int]``.
+
+The safety net for the linear-merge rewrite of the bulk interval ops:
+thousands of mixed ``add``/``discard``/``update``/``difference_update``/
+``union``/``intersection``/``difference`` operations are replayed
+against a plain Python set of page numbers, asserting identical pages,
+cached counts, and canonical extents after every step.  Seeds are fixed
+so failures replay exactly (stdlib ``random`` only — no hypothesis
+shrinking needed for the gate).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.mem.intervals import IntervalSet
+
+SEEDS = [0, 1, 7, 42, 1337, 0xC0FFEE]
+
+#: Page-number universe; small enough that collisions (merges, splits,
+#: overlaps) happen constantly, large enough for multi-extent sets.
+SPAN = 400
+
+OPS_PER_SEED = 2000
+
+
+def random_interval(rng: random.Random) -> tuple:
+    a = rng.randrange(SPAN)
+    b = rng.randrange(SPAN)
+    lo, hi = min(a, b), max(a, b)
+    return lo, hi + rng.randrange(3)  # sometimes empty (stop == start)
+
+
+def random_operand(rng: random.Random) -> tuple:
+    """A second (IntervalSet, set) pair to feed the bulk ops."""
+    spans = [random_interval(rng) for _ in range(rng.randrange(8))]
+    intervals = IntervalSet(s for s in spans if s[0] < s[1])
+    model = set()
+    for start, stop in spans:
+        model.update(range(start, stop))
+    return intervals, model
+
+
+def check_canonical(intervals: IntervalSet) -> None:
+    """Extents must be sorted, disjoint, non-adjacent, non-empty, and the
+    cached page count must match the extent sum."""
+    spans = intervals.intervals()
+    total = 0
+    for start, stop in spans:
+        assert start < stop, spans
+        total += stop - start
+    for (_, prev_stop), (next_start, _) in zip(spans, spans[1:]):
+        assert next_start > prev_stop, spans
+    assert intervals.page_count == total
+    assert len(intervals) == total
+    assert bool(intervals) == (total > 0)
+
+
+def check_equivalent(intervals: IntervalSet, model: set) -> None:
+    check_canonical(intervals)
+    assert set(intervals.pages()) == model
+    assert intervals.page_count == len(model)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_interval_ops_match_set_model(seed):
+    rng = random.Random(seed)
+    intervals = IntervalSet()
+    model: set = set()
+    operations = (
+        "add",
+        "discard",
+        "update",
+        "difference_update",
+        "union",
+        "intersection",
+        "difference",
+        "copy",
+        "clear",
+    )
+    weights = (30, 25, 10, 10, 6, 6, 6, 4, 3)
+    for _step in range(OPS_PER_SEED):
+        op = rng.choices(operations, weights)[0]
+        if op == "add":
+            start, stop = random_interval(rng)
+            intervals.add(start, stop)
+            model.update(range(start, stop))
+        elif op == "discard":
+            start, stop = random_interval(rng)
+            intervals.discard(start, stop)
+            model.difference_update(range(start, stop))
+        elif op == "update":
+            other, other_model = random_operand(rng)
+            intervals.update(other)
+            model |= other_model
+        elif op == "difference_update":
+            other, other_model = random_operand(rng)
+            intervals.difference_update(other)
+            model -= other_model
+        elif op == "union":
+            other, other_model = random_operand(rng)
+            out = intervals.union(other)
+            check_equivalent(out, model | other_model)
+        elif op == "intersection":
+            other, other_model = random_operand(rng)
+            out = intervals.intersection(other)
+            check_equivalent(out, model & other_model)
+        elif op == "difference":
+            other, other_model = random_operand(rng)
+            out = intervals.difference(other)
+            check_equivalent(out, model - other_model)
+        elif op == "copy":
+            intervals = intervals.copy()
+        elif op == "clear":
+            intervals.clear()
+            model = set()
+        check_equivalent(intervals, model)
+        # Point queries stay consistent with the model too.
+        probe = rng.randrange(SPAN)
+        assert (probe in intervals) == (probe in model)
+    # Extremes: extents reported by the final set round-trip.
+    rebuilt = IntervalSet(intervals.intervals())
+    assert rebuilt == intervals
+    check_equivalent(rebuilt, model)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_relations_match_set_model(seed):
+    rng = random.Random(seed)
+    for _case in range(300):
+        left, left_model = random_operand(rng)
+        right, right_model = random_operand(rng)
+        assert left.issubset(right) == left_model.issubset(right_model)
+        assert left.isdisjoint(right) == left_model.isdisjoint(right_model)
+        start, stop = random_interval(rng)
+        window = set(range(start, stop))
+        assert left.overlap_size(start, stop) == len(window & left_model)
+        missing = set()
+        for s, e in left.missing_in_range(start, stop):
+            missing.update(range(s, e))
+        assert missing == window - left_model
+
+
+def test_interval_set_is_unhashable():
+    with pytest.raises(TypeError):
+        hash(IntervalSet())
+    with pytest.raises(TypeError):
+        {IntervalSet([(0, 1)])}
+
+
+def test_generation_counts_mutations():
+    intervals = IntervalSet()
+    gen = intervals.generation
+    intervals.add(0, 10)
+    assert intervals.generation > gen
+    gen = intervals.generation
+    intervals.add(2, 5)  # fully covered: no content change, no bump
+    assert intervals.generation == gen
+    intervals.discard(100, 200)  # no overlap: no bump
+    assert intervals.generation == gen
+    intervals.discard(0, 1)
+    assert intervals.generation > gen
