@@ -189,6 +189,40 @@ def bench_snapshot_churn() -> Tuple[int, float]:
     return cycles, elapsed
 
 
+def bench_batched_fault_resolve() -> Tuple[int, float]:
+    """Batched working-set installation: the REAP prefetch restore path.
+
+    Deploy a space from a snapshot, then resolve a fragmented recorded
+    working set in one ``resolve_batch`` call — the per-deploy unit of
+    work when prefetch is enabled.  Ops are pages resolved.
+    """
+    from repro.mem.address_space import AddressSpace
+    from repro.mem.frames import FrameAllocator
+    from repro.mem.intervals import IntervalSet
+
+    allocator = FrameAllocator(16_000_000)
+    parent = AddressSpace(allocator, name="image")
+    for start, stop in _fragmented_intervals(seed=10, extents=800, span=160_000):
+        parent.write(start, stop - start)
+    snapshot = parent.capture_snapshot("image")
+    # A recorded manifest: partly stack-backed, partly fresh pages.
+    manifest = IntervalSet(
+        _fragmented_intervals(seed=11, extents=700, span=200_000)
+    )
+    rounds = 150
+    pages = 0
+    started = time.perf_counter()
+    for _ in range(rounds):
+        space = AddressSpace(allocator, base=snapshot, name="deploy")
+        batch = space.resolve_batch(manifest)
+        pages += batch.pages_resolved
+        space.destroy()
+    elapsed = time.perf_counter() - started
+    parent.destroy()
+    assert pages > 0
+    return pages, elapsed
+
+
 def bench_event_loop() -> Tuple[int, float]:
     """Timeout-heavy process churn: raw engine events per second."""
     from repro.sim import Environment
@@ -218,6 +252,7 @@ BENCHMARKS: Dict[str, Tuple[Callable[[], Tuple[int, float]], str]] = {
     "interval_intersection": (bench_interval_intersection, "intersections"),
     "snapshot_stack_read": (bench_snapshot_stack_read, "reads"),
     "cow_fault_storm": (bench_cow_fault_storm, "writes"),
+    "batched_fault_resolve": (bench_batched_fault_resolve, "pages"),
     "snapshot_churn": (bench_snapshot_churn, "cycles"),
     "event_loop": (bench_event_loop, "events"),
 }

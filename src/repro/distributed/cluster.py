@@ -145,10 +145,21 @@ class DistributedSeussCluster:
                     src = self._least_loaded(remote_holders)
                     source_snapshot = self.nodes[src].snapshot_cache.get(fn.key)
                     if source_snapshot is not None:
+                        # Ship the source node's working-set manifest with
+                        # the replica (it is tiny next to the diff): the
+                        # RECORDED strategy sizes its upfront set from it,
+                        # and the destination can prefetch locally.
+                        manifest = self.nodes[src].working_sets.get(fn.key)
                         plan = yield from self.interconnect.transfer(
-                            src, node_id, source_snapshot.size_mb, self.strategy
+                            src,
+                            node_id,
+                            source_snapshot.size_mb,
+                            self.strategy,
+                            manifest=manifest,
                         )
                         node.install_snapshot(fn.key, source_snapshot.pages)
+                        if manifest is not None:
+                            node.working_sets.install(fn.key, manifest)
                         self.registry.register(
                             fn.key, node_id, source_snapshot.size_mb
                         )

@@ -12,40 +12,58 @@ space the paper cites:
   deployment starts after the working set lands.
 * **COLORED** — VM state coloring (Kaleidoscope): semantically rank
   pages so an even smaller, higher-value prefix suffices to start.
+* **RECORDED** — REAP-style (Ustiugov et al., ASPLOS 2021): the upfront
+  set is the *measured* working-set manifest recorded by the snapshot's
+  first invocation, and the residual penalty follows the manifest's
+  observed miss rate instead of a constant.  Without a manifest it
+  degrades to ON_DEMAND's constants (nothing has been measured yet).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Generator
+from typing import Generator, Optional
 
 from repro.errors import ConfigError
+from repro.mem.workingset import WorkingSetManifest
 from repro.sim import Environment, Resource
+
+#: Cost of remotely faulting the *entire* working set, used to scale the
+#: RECORDED strategy's residual by the observed miss rate.  Solved from
+#: ON_DEMAND's constants: its 1.6 ms penalty covers misses over the 75%
+#: of the diff it leaves behind, i.e. 1.6 / 0.75 ≈ 2.1 ms for a full
+#: working-set's worth of remote faults.
+REMOTE_MISS_PENALTY_MS = 2.1
 
 
 class TransferStrategy(Enum):
     FULL_COPY = "full_copy"
     ON_DEMAND = "on_demand"
     COLORED = "colored"
+    RECORDED = "recorded"
 
     @property
     def upfront_fraction(self) -> float:
-        """Fraction of the diff that must land before deployment."""
+        """Fraction of the diff that must land before deployment.
+
+        For RECORDED this is the no-manifest fallback only; with a
+        manifest the fraction is measured (see :func:`transfer_plan`).
+        """
         if self is TransferStrategy.FULL_COPY:
             return 1.0
-        if self is TransferStrategy.ON_DEMAND:
-            return 0.25
-        return 0.10  # COLORED
+        if self is TransferStrategy.COLORED:
+            return 0.10
+        return 0.25  # ON_DEMAND, and RECORDED before any recording
 
     @property
     def residual_fault_penalty_ms(self) -> float:
         """Extra first-execution cost of faulting late pages remotely."""
         if self is TransferStrategy.FULL_COPY:
             return 0.0
-        if self is TransferStrategy.ON_DEMAND:
-            return 1.6
-        return 0.9  # COLORED: misses are rarer by construction
+        if self is TransferStrategy.COLORED:
+            return 0.9  # misses are rarer by construction
+        return 1.6  # ON_DEMAND, and RECORDED before any recording
 
 
 @dataclass(frozen=True)
@@ -104,13 +122,27 @@ class ClusterInterconnect:
         self._nics = [Resource(env, capacity=1) for _ in range(nodes)]
         self.stats = InterconnectStats()
 
-    def plan(self, size_mb: float, strategy: TransferStrategy) -> TransferPlan:
+    def plan(
+        self,
+        size_mb: float,
+        strategy: TransferStrategy,
+        manifest: Optional[WorkingSetManifest] = None,
+    ) -> TransferPlan:
         return transfer_plan(
-            size_mb, strategy, ms_per_mb=self.ms_per_mb, latency_ms=self.latency_ms
+            size_mb,
+            strategy,
+            ms_per_mb=self.ms_per_mb,
+            latency_ms=self.latency_ms,
+            manifest=manifest,
         )
 
     def transfer(
-        self, src: int, dst: int, size_mb: float, strategy: TransferStrategy
+        self,
+        src: int,
+        dst: int,
+        size_mb: float,
+        strategy: TransferStrategy,
+        manifest: Optional[WorkingSetManifest] = None,
     ) -> Generator:
         """Sim process: move a snapshot diff; returns the TransferPlan.
 
@@ -120,7 +152,7 @@ class ClusterInterconnect:
         """
         if src == dst:
             raise ConfigError("source and destination nodes are the same")
-        plan = self.plan(size_mb, strategy)
+        plan = self.plan(size_mb, strategy, manifest=manifest)
         src_nic = self._nics[src].request()
         dst_nic = self._nics[dst].request()
         yield self.env.all_of([src_nic, dst_nic])
@@ -154,17 +186,38 @@ def transfer_plan(
     strategy: TransferStrategy,
     ms_per_mb: float = ClusterInterconnect.DEFAULT_MS_PER_MB,
     latency_ms: float = ClusterInterconnect.DEFAULT_LATENCY_MS,
+    manifest: Optional[WorkingSetManifest] = None,
 ) -> TransferPlan:
-    """Compute the time decomposition of one transfer."""
+    """Compute the time decomposition of one transfer.
+
+    ``manifest`` only affects the RECORDED strategy: the upfront set
+    becomes the recorded working set (capped at the diff itself) and
+    the residual penalty scales :data:`REMOTE_MISS_PENALTY_MS` by the
+    manifest's observed miss rate.  Every other strategy — and RECORDED
+    with nothing recorded yet — uses the enum's constants.
+    """
     if size_mb < 0:
         raise ConfigError(f"negative transfer size {size_mb}")
+    fraction = strategy.upfront_fraction
+    residual = strategy.residual_fault_penalty_ms
+    if (
+        strategy is TransferStrategy.RECORDED
+        and manifest is not None
+        and size_mb > 0
+    ):
+        upfront_mb = min(size_mb, manifest.size_mb)
+        fraction = upfront_mb / size_mb
+        residual = REMOTE_MISS_PENALTY_MS * manifest.miss_rate
+    if size_mb == 0:
+        # A zero-size diff leaves nothing behind to fault remotely.
+        residual = 0.0
     wire_ms = size_mb * ms_per_mb
-    upfront = latency_ms + wire_ms * strategy.upfront_fraction
-    background = wire_ms * (1.0 - strategy.upfront_fraction)
+    upfront = latency_ms + wire_ms * fraction
+    background = wire_ms * (1.0 - fraction)
     return TransferPlan(
         size_mb=size_mb,
         strategy=strategy,
         upfront_ms=upfront,
         background_ms=background,
-        residual_penalty_ms=strategy.residual_fault_penalty_ms,
+        residual_penalty_ms=residual,
     )

@@ -32,6 +32,7 @@ __all__ = [
     "run_figure8",
     "run_ksm_contrast",
     "run_latency",
+    "run_prefetch",
     "run_sensitivity",
     "run_table1",
     "run_table2",
@@ -54,6 +55,7 @@ _LAZY = {
     "run_sensitivity": "repro.experiments.sensitivity",
     "run_codesize": "repro.experiments.codesize",
     "run_latency": "repro.experiments.latency",
+    "run_prefetch": "repro.experiments.prefetch",
 }
 
 #: Every module that registers specs, in display order (``all`` runs
@@ -69,6 +71,7 @@ EXPERIMENT_MODULES = (
     "repro.experiments.latency",
     "repro.experiments.sensitivity",
     "repro.experiments.codesize",
+    "repro.experiments.prefetch",
     "repro.experiments.chaos",
 )
 

@@ -122,7 +122,14 @@ def run_distributed() -> ExperimentResult:
             "saved vs cold",
         ],
     )
-    for strategy in TransferStrategy:
+    # The three constant-fraction strategies; RECORDED needs a recorded
+    # manifest and is evaluated by the `prefetch` experiment instead.
+    classic_strategies = (
+        TransferStrategy.FULL_COPY,
+        TransferStrategy.ON_DEMAND,
+        TransferStrategy.COLORED,
+    )
+    for strategy in classic_strategies:
         cluster = DistributedSeussCluster(
             Environment(), node_count=2, strategy=strategy
         )

@@ -113,6 +113,9 @@ class NodeInvocation:
     latency_ms: float
     breakdown: Dict[str, float] = field(default_factory=dict)
     pages_copied: int = 0
+    #: Pages installed by batched working-set prefetch (never counted
+    #: in ``pages_copied``, which stays "demand-fault copies").
+    pages_prefetched: int = 0
     error: Optional[str] = None
     function_key: str = ""
     #: Absolute simulated time each Figure-1 stage completed.

@@ -24,6 +24,7 @@ from repro.mem.intervals import IntervalSet
 from repro.mem.paging import (
     page_table_pages_for,
     record_page_faults,
+    record_page_prefetch,
     record_page_table_build,
 )
 from repro.mem.snapshot import CpuState, Snapshot
@@ -45,6 +46,27 @@ class WriteResult:
     @property
     def mb_copied(self) -> float:
         return pages_to_mb(self.pages_copied)
+
+
+@dataclass(frozen=True)
+class BatchResolveResult:
+    """Outcome of a batched COW resolution (:meth:`AddressSpace.resolve_batch`).
+
+    ``resolved`` holds exactly the intervals that were newly installed
+    (requested minus already-private); the invoker intersects it with
+    the invocation's write set to compute prefetch hits.
+    """
+
+    pages_requested: int
+    pages_resolved: int
+    pages_from_stack: int
+    pages_fresh: int
+    extents: int
+    resolved: IntervalSet
+
+    @property
+    def mb_resolved(self) -> float:
+        return pages_to_mb(self.pages_resolved)
 
 
 @dataclass(frozen=True)
@@ -89,6 +111,8 @@ class AddressSpace:
         self._dirty = IntervalSet()
         self._destroyed = False
         self._faults = 0
+        self._prefetched = 0
+        self._recorded: Optional[IntervalSet] = None
         if base is not None:
             if base.deleted:
                 raise SnapshotError(
@@ -139,8 +163,21 @@ class AddressSpace:
 
     @property
     def fault_count(self) -> int:
-        """Total COW faults taken over the space's lifetime."""
+        """Total COW faults taken over the space's lifetime.
+
+        Batched resolutions (:meth:`resolve_batch`) do not count here:
+        the point of prefetching is that those pages never fault.
+        """
         return self._faults
+
+    @property
+    def prefetched_pages(self) -> int:
+        """Pages installed by batched resolutions over the lifetime."""
+        return self._prefetched
+
+    @property
+    def recording(self) -> bool:
+        return self._recorded is not None
 
     def mapped_pages(self) -> IntervalSet:
         """All pages readable in this space (stack + private)."""
@@ -186,8 +223,76 @@ class AddressSpace:
             self._faults += copied
             record_page_faults(copied, len(gaps))
         self._dirty.add(start, stop)
+        if self._recorded is not None:
+            self._recorded.add(start, stop)
         return WriteResult(
             pages_written=npages, pages_copied=copied, extents_copied=len(gaps)
+        )
+
+    # -- working-set recording and batched resolution --------------------
+    def start_write_recording(self) -> None:
+        """Begin capturing the write set (for working-set manifests).
+
+        When idle this costs one ``None`` check per :meth:`write`; the
+        recorded set is the *write* set, not the copy set — a replayed
+        invocation whose pages were prefetched writes the same
+        intervals without faulting, so recordings stay comparable
+        across lazy and prefetched runs.
+        """
+        self._check_live()
+        self._recorded = IntervalSet()
+
+    def stop_write_recording(self) -> IntervalSet:
+        """End the recording window and return the captured write set."""
+        recorded = self._recorded if self._recorded is not None else IntervalSet()
+        self._recorded = None
+        return recorded
+
+    def resolve_batch(self, wanted: IntervalSet) -> BatchResolveResult:
+        """Install private copies of ``wanted`` in one batched operation.
+
+        This is the REAP restore path: instead of trapping once per
+        page, the whole working set is resolved with bulk interval
+        algebra — pages present in the snapshot stack are cloned,
+        the rest are zero-filled fresh allocations (a recorded working
+        set legitimately contains pages the stack never mapped, e.g.
+        the listen/connect regions a cold start touches).  Pages that
+        are already private are skipped.
+
+        Installed pages are *not* marked dirty (their content equals
+        what a demand fault would have produced, and dirty tracking
+        must keep meaning "diverged since last capture") and do not
+        increment :attr:`fault_count` — they land in
+        :attr:`prefetched_pages` instead.
+        """
+        self._check_live()
+        need = wanted.difference(self._private)
+        pages = need.page_count
+        if pages == 0:
+            return BatchResolveResult(
+                pages_requested=wanted.page_count,
+                pages_resolved=0,
+                pages_from_stack=0,
+                pages_fresh=0,
+                extents=0,
+                resolved=need,
+            )
+        from_stack = 0
+        if self._base is not None:
+            from_stack = need.intersection(
+                self._base.stack_pages_view()
+            ).page_count
+        self._allocator.allocate(pages, PRIVATE_CATEGORY)
+        self._private.update(need)
+        self._prefetched += pages
+        record_page_prefetch(pages)
+        return BatchResolveResult(
+            pages_requested=wanted.page_count,
+            pages_resolved=pages,
+            pages_from_stack=from_stack,
+            pages_fresh=pages - from_stack,
+            extents=need.extent_count,
+            resolved=need,
         )
 
     def read(self, start: int, npages: int) -> ReadResult:

@@ -25,6 +25,8 @@ PAGE_TABLE_ROOT_PAGES = 3
 COUNTER_PAGES_COPIED = "mem.pages_copied"
 COUNTER_COW_FAULTS = "mem.cow_faults"
 COUNTER_PAGE_TABLE_PAGES = "mem.page_table_pages_built"
+COUNTER_PAGES_PREFETCHED = "mem.pages_prefetched"
+COUNTER_PREFETCH_BATCHES = "mem.prefetch_batches"
 
 
 def page_table_pages_for(mapped_pages: int) -> int:
@@ -50,3 +52,17 @@ def record_page_table_build(pages: int) -> None:
     tracer = _active_tracer()
     if tracer.enabled and pages:
         tracer.counter(COUNTER_PAGE_TABLE_PAGES, pages)
+
+
+def record_page_prefetch(pages: int) -> None:
+    """Trace hook: one batched resolution installed ``pages`` pages.
+
+    Prefetched pages are deliberately *not* folded into
+    ``mem.pages_copied`` — that counter keeps meaning "pages copied by
+    demand faults", so lazy-vs-prefetch comparisons read directly off
+    the two counters.
+    """
+    tracer = _active_tracer()
+    if tracer.enabled and pages:
+        tracer.counter(COUNTER_PAGES_PREFETCHED, pages)
+        tracer.counter(COUNTER_PREFETCH_BATCHES, 1)

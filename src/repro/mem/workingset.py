@@ -1,0 +1,253 @@
+"""Working-set manifests: record the first invocation, prefetch the rest.
+
+SEUSS deploys from snapshots but still pays *serial demand faults* on
+every cold and remote-warm start — the ``cow_faults`` span the tracer
+measures.  "Benchmarking, Analysis, and Optimization of Serverless
+Function Snapshots" (Ustiugov et al., ASPLOS 2021) shows those faults
+dominate restore time and are almost entirely eliminated by REAP:
+record the pages the *first* post-deploy invocation faults on, persist
+that working set alongside the snapshot, and on later deploys install
+the whole set in one batched operation instead of trapping per page.
+
+The scheme transplants directly because every UC of a runtime shares
+one virtual layout and one base image (§6 "Networking" makes the same
+argument for IP/MAC): the page intervals one deployment faults on are
+valid for every other deployment of the same snapshot, on this node or
+a peer.
+
+* :class:`WorkingSetManifest` — the recorded interval set plus the
+  replay statistics (hits/misses) that calibrate the residual-fault
+  model of the ``RECORDED`` transfer strategy.
+* :class:`WorkingSetRecorder` — bracketed capture of one address
+  space's write set (the demand-fault working set; reads of snapshot
+  pages resolve to read-only mappings and allocate nothing, so writes
+  are exactly the faults that cost frames and time).
+* :class:`WorkingSetRegistry` — per-node (or global) ``key -> manifest``
+  store; the cluster ships entries alongside snapshot replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.mem.intervals import IntervalSet
+from repro.units import pages_to_mb
+
+
+@dataclass
+class WorkingSetManifest:
+    """The recorded fault working set of one snapshot's first invocation.
+
+    ``pages`` is stable across deploys — all UCs of a runtime share one
+    layout — so a manifest recorded on one node prefetches correctly on
+    any node holding a replica of the same snapshot.  Replay statistics
+    accumulate on whichever node observes them; manifests are shared by
+    reference when shipped, so observations feed one model.
+    """
+
+    key: str
+    #: Page intervals written (⇒ demand-faulted) by the recording
+    #: invocation, from deploy to result return.
+    pages: IntervalSet
+    #: Demand-faulted pages taken before the driver reached its
+    #: connected state at record time (the ``cow_faults`` span's work).
+    connect_pages: int = 0
+    #: Total demand-faulted pages over the recording invocation.
+    fault_pages: int = 0
+    #: Pages prefetched that later replays actually wrote.
+    replay_hits: int = 0
+    #: Demand faults replays still took despite the prefetch.
+    replay_misses: int = 0
+    #: Number of prefetched invocations observed.
+    replays: int = 0
+
+    def __post_init__(self) -> None:
+        # Manifests are immutable page-wise once recorded; defensive
+        # copy so the recorder's buffer cannot alias into the registry.
+        self.pages = self.pages.copy()
+
+    @property
+    def page_count(self) -> int:
+        return self.pages.page_count
+
+    @property
+    def size_mb(self) -> float:
+        """The measured upfront set of the ``RECORDED`` transfer strategy."""
+        return pages_to_mb(self.pages.page_count)
+
+    @property
+    def miss_rate(self) -> float:
+        """Observed fraction of working-set pages the prefetch missed.
+
+        A fresh manifest (no replays yet) reports 0.0: its recording is
+        by construction a perfect cover of itself, and the simulation's
+        deterministic write sets make that the honest prior.  Replays
+        with divergent write sets (different argument sizes) raise it.
+        """
+        touched = self.replay_hits + self.replay_misses
+        if touched == 0:
+            return 0.0
+        return self.replay_misses / touched
+
+    @property
+    def coverage(self) -> float:
+        """1 - :attr:`miss_rate`: fraction of faults the prefetch absorbed."""
+        return 1.0 - self.miss_rate
+
+    def observe_replay(self, hits: int, misses: int) -> None:
+        """Fold one prefetched invocation's hit/miss counts in."""
+        if hits < 0 or misses < 0:
+            raise ValueError(f"negative replay counts ({hits}, {misses})")
+        self.replay_hits += hits
+        self.replay_misses += misses
+        self.replays += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkingSetManifest({self.key!r}, {self.page_count}p, "
+            f"replays={self.replays}, miss_rate={self.miss_rate:.3f})"
+        )
+
+
+class WorkingSetRecorder:
+    """Brackets one recording window over an address space.
+
+    Usage::
+
+        recorder = WorkingSetRecorder(space)
+        recorder.mark_connected(copied)   # optional phase boundary
+        manifest = recorder.finish(key)
+
+    The recorder piggybacks on the space's write-recording hook, which
+    costs one ``None`` check per write when idle — the hot path with
+    recording disabled is untouched.
+    """
+
+    def __init__(self, space) -> None:
+        self._space = space
+        self._connect_pages = 0
+        self._fault_mark = space.fault_count
+        space.start_write_recording()
+
+    def mark_connected(self, pages_copied: int) -> None:
+        """Note how many demand faults the deploy-to-connect phase took."""
+        self._connect_pages = pages_copied
+
+    @property
+    def faults_taken(self) -> int:
+        """Demand faults since recording started."""
+        return self._space.fault_count - self._fault_mark
+
+    def finish(self, key: str) -> WorkingSetManifest:
+        """Close the window and build the manifest."""
+        written = self._space.stop_write_recording()
+        return WorkingSetManifest(
+            key=key,
+            pages=written,
+            connect_pages=self._connect_pages,
+            fault_pages=self.faults_taken,
+        )
+
+    def abort(self) -> None:
+        """Discard the window (failed invocation)."""
+        self._space.stop_write_recording()
+
+
+@dataclass
+class WorkingSetStats:
+    """Registry-level tallies (per node, or cluster-wide)."""
+
+    recorded: int = 0
+    installed: int = 0
+    prefetches: int = 0
+    pages_prefetched: int = 0
+
+
+class WorkingSetRegistry:
+    """``key -> WorkingSetManifest``; first recording wins.
+
+    One instance lives on each :class:`~repro.seuss.node.SeussNode`; a
+    standalone instance doubles as a cluster-global registry.  Like the
+    REAP prototype's on-disk working-set files, manifests survive node
+    crashes (they travel with the snapshot store, not volatile memory).
+    """
+
+    def __init__(self) -> None:
+        self._manifests: Dict[str, WorkingSetManifest] = {}
+        self.stats = WorkingSetStats()
+
+    def get(self, key: str) -> Optional[WorkingSetManifest]:
+        return self._manifests.get(key)
+
+    def record(
+        self,
+        key: str,
+        pages: IntervalSet,
+        connect_pages: int = 0,
+        fault_pages: int = 0,
+    ) -> WorkingSetManifest:
+        """Store the first recording for ``key``; later ones are ignored
+        (the manifest captures the *first* post-deploy invocation)."""
+        existing = self._manifests.get(key)
+        if existing is not None:
+            return existing
+        manifest = WorkingSetManifest(
+            key=key,
+            pages=pages,
+            connect_pages=connect_pages,
+            fault_pages=fault_pages,
+        )
+        self._manifests[key] = manifest
+        self.stats.recorded += 1
+        return manifest
+
+    def adopt(self, recorder: WorkingSetRecorder, key: str) -> WorkingSetManifest:
+        """Finish ``recorder`` and store its manifest under ``key``."""
+        manifest = recorder.finish(key)
+        existing = self._manifests.get(key)
+        if existing is not None:
+            return existing
+        self._manifests[key] = manifest
+        self.stats.recorded += 1
+        return manifest
+
+    def install(self, key: str, manifest: WorkingSetManifest) -> None:
+        """Adopt a manifest shipped from a peer (replica installation).
+
+        The object is shared, not copied: replay observations on any
+        holder refine the one miss-rate model, mirroring REAP's single
+        per-snapshot working-set file.
+        """
+        if key not in self._manifests:
+            self._manifests[key] = manifest
+            self.stats.installed += 1
+
+    def note_prefetch(self, pages: int) -> None:
+        """Tally one batched prefetch of ``pages`` pages."""
+        self.stats.prefetches += 1
+        self.stats.pages_prefetched += pages
+
+    def drop(self, key: str) -> None:
+        self._manifests.pop(key, None)
+
+    def clear(self) -> None:
+        self._manifests.clear()
+
+    def keys(self) -> List[str]:
+        return list(self._manifests)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._manifests
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._manifests)
+
+    def __len__(self) -> int:
+        return len(self._manifests)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkingSetRegistry({len(self._manifests)} manifests, "
+            f"stats={self.stats})"
+        )

@@ -25,9 +25,18 @@ def percentile(values: Sequence[float], p: float) -> float:
     """The ``p``-th percentile (0..100), linear interpolation."""
     if not values:
         raise ValueError("percentile of empty sample")
+    return _percentile_ordered(sorted(values), p)
+
+
+def _percentile_ordered(ordered: Sequence[float], p: float) -> float:
+    """:func:`percentile` over an already-sorted non-empty sample.
+
+    Callers taking several percentiles of one sample (``summarize``)
+    sort once and reuse the ordered list instead of paying a fresh
+    O(n log n) sort per percentile.
+    """
     if not 0.0 <= p <= 100.0:
         raise ValueError(f"percentile {p} outside [0, 100]")
-    ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
     rank = (p / 100.0) * (len(ordered) - 1)
@@ -58,16 +67,23 @@ class LatencySummary:
 
 
 def summarize(latencies: Iterable[float]) -> LatencySummary:
-    """Build the Figure 5 summary from raw latencies."""
+    """Build the Figure 5 summary from raw latencies.
+
+    The sample is sorted once and every percentile reads the same
+    ordered list (five sorts collapse to one; the values are identical).
+    The mean sums in arrival order — float addition is not commutative
+    under reordering, and golden values predate this optimization.
+    """
     sample = list(latencies)
     if not sample:
         raise ValueError("summarize of empty sample")
+    ordered = sorted(sample)
     return LatencySummary(
         count=len(sample),
-        p1=percentile(sample, 1),
-        p25=percentile(sample, 25),
-        p50=percentile(sample, 50),
-        p75=percentile(sample, 75),
-        p99=percentile(sample, 99),
+        p1=_percentile_ordered(ordered, 1),
+        p25=_percentile_ordered(ordered, 25),
+        p50=_percentile_ordered(ordered, 50),
+        p75=_percentile_ordered(ordered, 75),
+        p99=_percentile_ordered(ordered, 99),
         mean=mean(sample),
     )

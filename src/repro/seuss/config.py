@@ -57,6 +57,11 @@ class SeussConfig:
     snapshot_stacks: bool = True
     #: Upper bound on idle UCs kept per function.
     idle_ucs_per_function: int = 512
+    #: Record each snapshot's first-invocation working set and prefetch
+    #: it on later deploys (REAP-style, Ustiugov et al. ASPLOS 2021).
+    #: Opt-in: with this off, deploys take serial demand faults exactly
+    #: as before and every experiment table is unchanged.
+    prefetch_working_sets: bool = False
 
     def __post_init__(self) -> None:
         if self.memory_gb <= 0:

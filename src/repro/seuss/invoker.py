@@ -26,14 +26,17 @@ from repro.faas.records import (
     InvocationStage,
     NodeInvocation,
 )
+from repro.mem.workingset import WorkingSetRecorder
 from repro.trace import tracer_for
 from repro.unikernel.context import UnikernelContext
+from repro.units import pages_to_mb
 
 #: Stage keys used in latency breakdowns.
 STAGE_QUEUE_WAIT = "queue_wait"
 STAGE_UC_CREATE = "uc_create"
 STAGE_CONNECT = "connect"
 STAGE_FAULTS = "cow_faults"
+STAGE_PREFETCH = "prefetch"
 STAGE_NETWORK_FIRST_USE = "network_first_use"
 STAGE_IMPORT = "import_compile"
 STAGE_INTERP_FIRST_USE = "interpreter_first_use"
@@ -58,6 +61,15 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
         InvocationStage.REQUEST_RECEIVED: started
     }
     pages_copied = 0
+    pages_prefetched = 0
+    # Working-set record/prefetch state (only active when the node's
+    # config opts in; the hot path never touches it).
+    manifest = None
+    manifest_key = ""
+    recorder = None
+    batch = None
+    connect_copied = 0
+    deploy_fault_mark = 0
     tracer = tracer_for(env)
     root = tracer.span(
         "invocation",
@@ -137,19 +149,60 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
                 # interpreter — the whole point of the method.
                 reached(InvocationStage.RUNTIME_INITIALIZED)
 
+                if node.config.prefetch_working_sets:
+                    # REAP: replay the recorded working set in one batch
+                    # at deploy time; misses fall back to demand faults.
+                    # The first invocation per key has no manifest and
+                    # runs lazily while recording.
+                    manifest_key = (
+                        fn.key
+                        if path is InvocationPath.WARM
+                        else f"runtime:{fn.runtime}"
+                    )
+                    manifest = node.working_sets.get(manifest_key)
+                    recorder = WorkingSetRecorder(uc.space)
+                    if manifest is not None:
+                        batch = uc.space.resolve_batch(manifest.pages)
+                        if batch.pages_resolved:
+                            pages_prefetched = batch.pages_resolved
+                            node.working_sets.note_prefetch(
+                                batch.pages_resolved
+                            )
+                            if tracer.enabled:
+                                tracer.counter(
+                                    "prefetch.pages", batch.pages_resolved
+                                )
+                            yield env.timeout(
+                                charge(
+                                    STAGE_PREFETCH,
+                                    costs.prefetch_ms(batch.mb_resolved),
+                                )
+                            )
+
                 result = uc.start_listening()
+                connect_copied = result.pages_copied
                 pages_copied += result.pages_copied
                 # Map the control channel on the resident core's proxy; it
                 # is unmapped automatically when the UC is destroyed.
                 node.network.connect_uc(uc)
                 result = uc.accept_connection()
+                connect_copied += result.pages_copied
                 pages_copied += result.pages_copied
                 yield env.timeout(charge(STAGE_CONNECT, costs.tcp_connect_ms))
+                if recorder is not None:
+                    recorder.mark_connected(connect_copied)
 
                 if path is InvocationPath.COLD:
-                    yield env.timeout(
-                        charge(STAGE_FAULTS, costs.cold_deploy_fault_ms)
-                    )
+                    fault_ms = costs.cold_deploy_fault_ms
+                    if manifest is not None:
+                        # Measured residual: the constant covers the
+                        # recorded connect-phase fault set, so scale it
+                        # by the fraction the prefetch failed to absorb.
+                        fault_ms *= min(
+                            1.0,
+                            connect_copied / max(1, manifest.connect_pages),
+                        )
+                    yield env.timeout(charge(STAGE_FAULTS, fault_ms))
                     if not runtime_record.ao_level.network:
                         yield env.timeout(
                             charge(
@@ -194,15 +247,25 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
                     reached(InvocationStage.CODE_IMPORTED)
                 else:  # WARM
                     uc.restore_function(fn.key, fn.code_kb)
-                    # Warm-path COW cost scales with the function *diff*;
-                    # for a flattened snapshot (no lineage) the diff is its
-                    # size over the shared runtime image.
-                    diff_mb = fn_snapshot.size_mb
-                    if fn_snapshot.parent is None:
-                        diff_mb = max(
-                            0.0,
-                            fn_snapshot.size_mb - runtime_record.snapshot.size_mb,
-                        )
+                    if manifest is not None:
+                        # Prefetched deploy: charge the lazy per-page
+                        # rate only over the faults actually taken (the
+                        # prefetch stage already paid for what it
+                        # absorbed, at the cheaper batched rate).
+                        deploy_fault_mark = recorder.faults_taken
+                        diff_mb = pages_to_mb(deploy_fault_mark)
+                    else:
+                        # Warm-path COW cost scales with the function
+                        # *diff*; for a flattened snapshot (no lineage)
+                        # the diff is its size over the shared runtime
+                        # image.
+                        diff_mb = fn_snapshot.size_mb
+                        if fn_snapshot.parent is None:
+                            diff_mb = max(
+                                0.0,
+                                fn_snapshot.size_mb
+                                - runtime_record.snapshot.size_mb,
+                            )
                     yield env.timeout(
                         charge(
                             STAGE_FAULTS,
@@ -235,6 +298,20 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
                     factor=injector.plan.slow_core_factor,
                 )
             yield env.timeout(charge(STAGE_EXEC, exec_ms))
+            if manifest is not None and path is InvocationPath.WARM:
+                # Faults taken after the deploy charge (args/exec pages
+                # the manifest missed) fall back to the lazy per-MB
+                # rate, so imperfect recordings cannot under-bill.
+                tail_faults = recorder.faults_taken - deploy_fault_mark
+                if tail_faults:
+                    per_mb = (
+                        costs.warm_fault_per_mb_warmed_ms
+                        if runtime_record.ao_level.interpreter
+                        else costs.warm_fault_per_mb_ms
+                    )
+                    yield env.timeout(
+                        charge(STAGE_FAULTS, per_mb * pages_to_mb(tail_faults))
+                    )
             if fn.io_wait_ms > 0:
                 # Blocked on external I/O: the poll-based UC releases its
                 # core while waiting.
@@ -259,12 +336,33 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
                 latency_ms=env.now - started,
                 breakdown=breakdown,
                 pages_copied=pages_copied,
+                pages_prefetched=pages_prefetched,
                 error=f"out of memory during {path.value} path: {exc}",
                 function_key=fn.key,
             )
         finally:
             if core is not None:
                 node.cores.release(core)
+
+        # -- working-set bookkeeping ---------------------------------------
+        if recorder is not None:
+            if manifest is None:
+                # First invocation for this key: its write set becomes
+                # the manifest later deploys prefetch.
+                node.working_sets.adopt(recorder, manifest_key)
+            else:
+                misses = recorder.faults_taken
+                replay = recorder.finish(manifest_key)
+                hits = (
+                    batch.resolved.intersection(replay.pages).page_count
+                    if batch is not None
+                    else 0
+                )
+                manifest.observe_replay(hits, misses)
+                if tracer.enabled:
+                    tracer.counter("prefetch.hits", hits)
+                    tracer.counter("prefetch.misses", misses)
+                    tracer.gauge("prefetch.coverage", manifest.coverage)
 
         # -- cache the idle UC for hot reuse --------------------------------
         cached = node.config.cache_idle_ucs and node.uc_cache.put(fn.key, uc)
@@ -273,12 +371,15 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
 
         node.stats.count(path)
         root.annotate(success=True, pages_copied=pages_copied)
+        if pages_prefetched:
+            root.annotate(pages_prefetched=pages_prefetched)
         return NodeInvocation(
             path=path,
             success=True,
             latency_ms=env.now - started,
             breakdown=breakdown,
             pages_copied=pages_copied,
+            pages_prefetched=pages_prefetched,
             function_key=fn.key,
             stage_times=stage_times,
         )

@@ -25,6 +25,7 @@ from repro.faas.records import (
 )
 from repro.mem.frames import FrameAllocator, node_allocator
 from repro.mem.snapshot import Snapshot
+from repro.mem.workingset import WorkingSetRegistry
 from repro.seuss.ao import AOReport, apply_anticipatory_optimizations
 from repro.seuss.config import AOLevel, SeussConfig
 from repro.seuss.invoker import invoke_on_node
@@ -79,6 +80,9 @@ class SeussNode:
         )
         # The trivial OOM daemon: reclaim idle UCs under pressure (§6).
         self.allocator.add_reclaim_hook(self.uc_cache.reclaim_pages)
+        #: Recorded first-invocation working sets, keyed like snapshots
+        #: (``runtime:<name>`` for the cold path, ``fn.key`` for warm).
+        self.working_sets = WorkingSetRegistry()
         # Per-core network proxies (§6 "Networking").
         from repro.net.proxy import NodeNetwork
 
@@ -195,6 +199,11 @@ class SeussNode:
         a crashing kernel had already DMA'd out).  Invocations routed
         here while down fail fast, which is what the controller's
         retry/breaker machinery is built to absorb.
+
+        Working-set manifests deliberately survive: like REAP's
+        per-snapshot working-set files they live with the snapshot
+        store, not in volatile memory, so a restarted node prefetches
+        from its old recordings.
         """
         if self.crashed:
             return

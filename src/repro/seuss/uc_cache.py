@@ -66,11 +66,16 @@ class IdleUCCache:
         return True
 
     def pop(self, key: str) -> Optional[UnikernelContext]:
-        """Take an idle UC for ``key``, if any (the hot path)."""
+        """Take an idle UC for ``key``, if any (the hot path).
+
+        Takes the *most recently idled* context (LIFO): reuse and the
+        OOM daemon must consume from opposite ends, so hot hits get the
+        cache-warm UC while reclaim keeps eating the oldest.
+        """
         bucket = self._idle.get(key)
         if not bucket:
             return None
-        uc = bucket.popleft()
+        uc = bucket.pop()
         self._count -= 1
         if not bucket:
             del self._idle[key]
@@ -103,6 +108,7 @@ class IdleUCCache:
             tracer = _active_tracer()
             if tracer.enabled:
                 tracer.event("uc_cache.reclaimed", key=key)
+                tracer.gauge("uc_cache.idle_ucs", self._count)
         return freed
 
     def drop_function(self, key: str) -> int:
@@ -116,6 +122,10 @@ class IdleUCCache:
             dropped += 1
         self._count -= dropped
         self.stats.dropped += dropped
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.event("uc_cache.dropped", key=key, count=dropped)
+            tracer.gauge("uc_cache.idle_ucs", self._count)
         return dropped
 
     def clear(self) -> int:

@@ -7,13 +7,17 @@ import pytest
 from repro.distributed.cluster import DistributedSeussCluster, SchedulingPolicy
 from repro.distributed.registry import GlobalSnapshotRegistry
 from repro.distributed.transfer import (
+    REMOTE_MISS_PENALTY_MS,
     ClusterInterconnect,
     TransferStrategy,
     transfer_plan,
 )
 from repro.errors import ConfigError
+from repro.mem.intervals import IntervalSet
+from repro.mem.workingset import WorkingSetManifest
 from repro.sim import Environment
 from repro.workload.functions import nop_function
+from repro.units import mb_to_pages
 
 
 class TestTransferPlans:
@@ -45,6 +49,89 @@ class TestTransferPlans:
     def test_negative_size_rejected(self):
         with pytest.raises(ConfigError):
             transfer_plan(-1.0, TransferStrategy.FULL_COPY)
+
+    def test_upfront_background_split_covers_the_wire(self):
+        # For every strategy: upfront = latency + fraction of the wire
+        # time, background = the rest; the split never loses bytes.
+        for strategy in TransferStrategy:
+            plan = transfer_plan(2.0, strategy, ms_per_mb=0.84, latency_ms=0.15)
+            wire_ms = 2.0 * 0.84
+            assert plan.upfront_ms == pytest.approx(
+                0.15 + wire_ms * strategy.upfront_fraction
+            )
+            assert plan.background_ms == pytest.approx(
+                wire_ms * (1.0 - strategy.upfront_fraction)
+            )
+            assert plan.total_wire_ms == pytest.approx(0.15 + wire_ms)
+
+    def test_zero_size_diff_owes_no_residual(self):
+        # Nothing shipped lazily means nothing left to fault remotely.
+        for strategy in TransferStrategy:
+            plan = transfer_plan(0.0, strategy)
+            assert plan.residual_penalty_ms == 0.0
+            assert plan.background_ms == 0.0
+            assert plan.upfront_ms == pytest.approx(0.15)  # latency only
+
+
+def _manifest(pages_mb: float, hits: int = 0, misses: int = 0) -> WorkingSetManifest:
+    manifest = WorkingSetManifest(
+        key="fn", pages=IntervalSet([(0, mb_to_pages(pages_mb))])
+    )
+    if hits or misses:
+        manifest.observe_replay(hits, misses)
+    return manifest
+
+
+class TestRecordedStrategy:
+    def test_falls_back_to_on_demand_without_manifest(self):
+        recorded = transfer_plan(2.0, TransferStrategy.RECORDED)
+        on_demand = transfer_plan(2.0, TransferStrategy.ON_DEMAND)
+        assert recorded.upfront_ms == on_demand.upfront_ms
+        assert recorded.background_ms == on_demand.background_ms
+        assert recorded.residual_penalty_ms == on_demand.residual_penalty_ms
+
+    def test_upfront_is_the_measured_manifest(self):
+        manifest = _manifest(1.5)
+        plan = transfer_plan(2.0, TransferStrategy.RECORDED, manifest=manifest)
+        # 1.5 of the 2.0 MB diff ships upfront — a measured 75%, not
+        # ON_DEMAND's constant 25%.
+        assert plan.upfront_ms == pytest.approx(0.15 + 1.5 * 0.84)
+        assert plan.background_ms == pytest.approx(0.5 * 0.84)
+
+    def test_manifest_larger_than_diff_is_capped(self):
+        manifest = _manifest(4.0)
+        plan = transfer_plan(2.0, TransferStrategy.RECORDED, manifest=manifest)
+        full = transfer_plan(2.0, TransferStrategy.FULL_COPY)
+        assert plan.upfront_ms == pytest.approx(full.upfront_ms)
+        assert plan.background_ms == 0.0
+
+    def test_residual_scales_with_observed_miss_rate(self):
+        perfect = _manifest(1.5, hits=100, misses=0)
+        plan = transfer_plan(2.0, TransferStrategy.RECORDED, manifest=perfect)
+        assert plan.residual_penalty_ms == 0.0
+
+        flaky = _manifest(1.5, hits=75, misses=25)
+        plan = transfer_plan(2.0, TransferStrategy.RECORDED, manifest=flaky)
+        assert plan.residual_penalty_ms == pytest.approx(
+            REMOTE_MISS_PENALTY_MS * 0.25
+        )
+
+    def test_fresh_manifest_reports_zero_miss_rate(self):
+        manifest = _manifest(1.5)
+        assert manifest.miss_rate == 0.0
+        plan = transfer_plan(2.0, TransferStrategy.RECORDED, manifest=manifest)
+        assert plan.residual_penalty_ms == 0.0
+
+    def test_manifest_ignored_by_constant_strategies(self):
+        manifest = _manifest(1.5, hits=50, misses=50)
+        for strategy in (
+            TransferStrategy.FULL_COPY,
+            TransferStrategy.ON_DEMAND,
+            TransferStrategy.COLORED,
+        ):
+            with_manifest = transfer_plan(2.0, strategy, manifest=manifest)
+            without = transfer_plan(2.0, strategy)
+            assert with_manifest == without
 
 
 class TestInterconnect:
@@ -173,6 +260,33 @@ class TestCluster:
         # Budget fits ~4 snapshots per node; early replicas must be gone
         # from the registry, not just the node caches.
         assert cluster.replica_count(functions[0].key) == 0
+
+    def test_manifest_ships_with_replica(self):
+        from repro.seuss.config import SeussConfig
+
+        cluster = DistributedSeussCluster(
+            Environment(),
+            node_count=2,
+            strategy=TransferStrategy.RECORDED,
+            config=SeussConfig(prefetch_working_sets=True),
+        )
+        fn = nop_function(owner="ship")
+        cold = cluster.invoke_sync(fn)
+        home = cold.node_id
+        cluster.nodes[home].uc_cache.drop_function(fn.key)
+        warm = cluster.invoke_sync(fn)  # records the fn manifest at home
+        assert warm.path == "warm"
+        cluster.nodes[home].uc_cache.drop_function(fn.key)
+        cluster._in_flight[home] = 10
+        remote = cluster.invoke_sync(fn)
+        assert remote.path == "remote_warm"
+        peer = cluster.nodes[remote.node_id]
+        # The replica's manifest arrived with it — shared, not copied —
+        # and the peer's deploy prefetched from it.
+        assert peer.working_sets.get(fn.key) is (
+            cluster.nodes[home].working_sets.get(fn.key)
+        )
+        assert remote.node_result.pages_prefetched > 0
 
     def test_invalid_node_count(self):
         with pytest.raises(ConfigError):

@@ -51,6 +51,19 @@ class TestStats:
         assert summary.p1 < summary.p25 < summary.p50 < summary.p75 < summary.p99
         assert len(summary.as_row()) == 6
 
+    def test_summarize_matches_per_call_percentiles(self):
+        """Regression for the single-sort rewrite: every summary field
+        must equal what five independent percentile() calls (each with
+        its own sort) produce, and the mean must sum in arrival order."""
+        sample = [7.25, 1.5, 90.0, 3.125, 3.125, 42.7, 0.1, 55.0, 8.0]
+        summary = summarize(sample)
+        assert summary.p1 == percentile(sample, 1)
+        assert summary.p25 == percentile(sample, 25)
+        assert summary.p50 == percentile(sample, 50)
+        assert summary.p75 == percentile(sample, 75)
+        assert summary.p99 == percentile(sample, 99)
+        assert summary.mean == mean(sample)
+
     @given(st.lists(st.floats(min_value=0, max_value=1e6, allow_subnormal=False), min_size=1, max_size=200))
     def test_percentiles_monotone_and_bounded(self, values):
         ordered_ps = [percentile(values, p) for p in (1, 25, 50, 75, 99)]

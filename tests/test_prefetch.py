@@ -1,0 +1,154 @@
+"""Invoker-level working-set prefetch tests.
+
+The prefetch layer must be invisible when disabled (byte-identical
+latencies, no extra stages) and strictly helpful when enabled (replays
+beat the lazy baseline, the hot path is untouched).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faas.records import InvocationPath
+from repro.trace import Tracer, disable, enable
+from repro.workload.functions import nop_function
+from tests.conftest import make_seuss_node
+
+
+def lazy_node():
+    return make_seuss_node()
+
+
+def prefetch_node():
+    return make_seuss_node(prefetch_working_sets=True)
+
+
+class TestDisabled:
+    def test_no_prefetch_stage_and_identical_latencies(self):
+        baseline, node = lazy_node(), lazy_node()
+        fn_a, fn_b = nop_function(owner="da"), nop_function(owner="da")
+        for reference, subject in ((fn_a, fn_b),):
+            cold_ref = baseline.invoke_sync(reference)
+            cold = node.invoke_sync(subject)
+            assert "prefetch" not in cold.breakdown
+            assert cold.pages_prefetched == 0
+            assert cold.latency_ms == cold_ref.latency_ms
+        assert len(node.working_sets) == 0
+
+    def test_recording_invocation_is_lazy_priced(self):
+        # With prefetch on but no manifest yet, the first invocation
+        # pays exactly the lazy price — recording is free in sim time.
+        fn_l, fn_p = nop_function(owner="rp"), nop_function(owner="rp")
+        lazy_cold = lazy_node().invoke_sync(fn_l)
+        node = prefetch_node()
+        # A prior cold of a *different* function already recorded the
+        # runtime manifest, so use a fresh node: truly first invocation.
+        cold = node.invoke_sync(fn_p)
+        assert cold.pages_prefetched == 0
+        assert "prefetch" not in cold.breakdown
+        assert cold.latency_ms == lazy_cold.latency_ms
+        assert f"runtime:{fn_p.runtime}" in node.working_sets
+
+
+class TestEnabled:
+    def test_cold_replay_prefetches_from_runtime_manifest(self):
+        node = prefetch_node()
+        node.invoke_sync(nop_function(owner="w0"))  # records runtime WS
+        lazy_cold = lazy_node().invoke_sync(nop_function(owner="c0"))
+        cold = node.invoke_sync(nop_function(owner="c0"))
+        assert cold.path is InvocationPath.COLD
+        assert cold.pages_prefetched > 0
+        assert "prefetch" in cold.breakdown
+        assert cold.latency_ms < lazy_cold.latency_ms
+
+    def test_warm_replay_prefetches_from_function_manifest(self):
+        fn_l, fn_p = nop_function(owner="wr"), nop_function(owner="wr")
+        baseline = lazy_node()
+        baseline.invoke_sync(fn_l)
+        baseline.uc_cache.drop_function(fn_l.key)
+        lazy_warm = baseline.invoke_sync(fn_l)
+
+        node = prefetch_node()
+        node.invoke_sync(fn_p)  # cold
+        node.uc_cache.drop_function(fn_p.key)
+        first_warm = node.invoke_sync(fn_p)  # records fn manifest
+        assert first_warm.pages_prefetched == 0
+        assert first_warm.latency_ms == lazy_warm.latency_ms
+        node.uc_cache.drop_function(fn_p.key)
+        warm = node.invoke_sync(fn_p)  # replays it
+        assert warm.path is InvocationPath.WARM
+        assert warm.pages_prefetched > 0
+        assert warm.pages_copied == 0  # every fault was absorbed
+        assert warm.latency_ms < lazy_warm.latency_ms
+
+    def test_hot_path_is_untouched(self):
+        fn_l, fn_p = nop_function(owner="h"), nop_function(owner="h")
+        baseline, node = lazy_node(), prefetch_node()
+        baseline.invoke_sync(fn_l)
+        node.invoke_sync(fn_p)
+        lazy_hot = baseline.invoke_sync(fn_l)
+        hot = node.invoke_sync(fn_p)
+        assert hot.path is InvocationPath.HOT
+        assert hot.pages_prefetched == 0
+        assert "prefetch" not in hot.breakdown
+        assert hot.latency_ms == lazy_hot.latency_ms
+
+    def test_tracer_counters_and_coverage_gauge(self):
+        node = prefetch_node()
+        fn = nop_function(owner="tc")
+        node.invoke_sync(fn)
+        node.uc_cache.drop_function(fn.key)
+        node.invoke_sync(fn)  # records the fn manifest
+        node.uc_cache.drop_function(fn.key)
+        tracer = Tracer()
+        enable(tracer)
+        try:
+            node.invoke_sync(fn)  # replay under tracing
+        finally:
+            disable()
+        counters = {s.name: s.value for s in tracer.counters}
+        assert counters["prefetch.pages"] > 0
+        assert counters["prefetch.hits"] > 0
+        assert counters["prefetch.misses"] == 0  # NOP replays perfectly
+        assert counters["prefetch.coverage"] == 1.0
+        assert counters["mem.pages_prefetched"] == counters["prefetch.pages"]
+
+    def test_manifest_miss_rate_updates_on_replay(self):
+        node = prefetch_node()
+        fn = nop_function(owner="mr")
+        node.invoke_sync(fn)
+        node.uc_cache.drop_function(fn.key)
+        node.invoke_sync(fn)
+        manifest = node.working_sets.get(fn.key)
+        assert manifest is not None and manifest.replays == 0
+        node.uc_cache.drop_function(fn.key)
+        node.invoke_sync(fn)
+        assert manifest.replays == 1
+        assert manifest.miss_rate == 0.0
+
+    def test_manifests_survive_a_crash(self):
+        # Like REAP's on-disk working-set files, manifests live with
+        # the snapshot store: a restarted node replays its recordings.
+        node = prefetch_node()
+        fn = nop_function(owner="cr")
+        node.invoke_sync(fn)
+        recorded = len(node.working_sets)
+        assert recorded > 0
+        node.crash()
+        node.restart()
+        assert len(node.working_sets) == recorded
+        cold = node.invoke_sync(nop_function(owner="cr2"))
+        assert cold.pages_prefetched > 0
+
+    def test_prefetch_pages_annotated_on_root_span(self):
+        node = prefetch_node()
+        node.invoke_sync(nop_function(owner="sp"))
+        tracer = Tracer()
+        enable(tracer)
+        try:
+            node.invoke_sync(nop_function(owner="sp2"))
+        finally:
+            disable()
+        roots = [s for s in tracer.spans if s.name == "invocation"]
+        assert roots, "no invoke span traced"
+        assert roots[-1].attrs.get("pages_prefetched", 0) > 0

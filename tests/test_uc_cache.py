@@ -6,6 +6,7 @@ import pytest
 
 from repro.mem.frames import FrameAllocator
 from repro.seuss.uc_cache import IdleUCCache
+from repro.trace import Tracer, disable, enable
 from repro.unikernel.context import UCState, UnikernelContext
 from repro.unikernel.interpreters import NODEJS
 
@@ -55,13 +56,28 @@ class TestHotPath:
         assert not cache.put("fn", idle_uc(alloc, base))
         assert len(cache) == 2
 
-    def test_fifo_within_function(self, alloc, base):
+    def test_lifo_within_function(self, alloc, base):
+        # Hot hits take the most recently idled UC; the opposite end
+        # (oldest) is left for the OOM daemon to reclaim.
         cache = IdleUCCache()
         first = idle_uc(alloc, base)
         second = idle_uc(alloc, base)
         cache.put("fn", first)
         cache.put("fn", second)
+        assert cache.pop("fn") is second
         assert cache.pop("fn") is first
+
+    def test_reuse_and_reclaim_take_opposite_ends(self, alloc, base):
+        cache = IdleUCCache()
+        oldest = idle_uc(alloc, base)
+        newest = idle_uc(alloc, base)
+        cache.put("fn", oldest)
+        cache.put("fn", newest)
+        assert cache.pop("fn") is newest
+        cache.put("fn", newest)
+        cache.reclaim_pages(1)
+        assert oldest.destroyed
+        assert not newest.destroyed
 
     def test_function_count(self, alloc, base):
         cache = IdleUCCache()
@@ -116,6 +132,45 @@ class TestReclamation:
         cache.put("b", idle_uc(alloc, base, "b"))
         assert cache.clear() == 2
         assert len(cache) == 0
+
+    def test_idle_gauge_tracks_every_mutator(self, alloc, base):
+        """Regression: reclaim/drop/clear must emit the idle-UC gauge.
+
+        They used to mutate ``_count`` silently, so traces showed
+        phantom idle UCs after every OOM reclaim.
+        """
+        tracer = Tracer()
+        enable(tracer)
+        try:
+            cache = IdleUCCache()
+            cache.put("a", idle_uc(alloc, base, "a"))
+            cache.put("a", idle_uc(alloc, base, "a"))
+            cache.put("b", idle_uc(alloc, base, "b"))
+            cache.pop("a")
+            cache.reclaim_pages(1)  # eats one UC (LRU function first: "b")
+            cache.drop_function("a")
+            cache.put("c", idle_uc(alloc, base, "c"))
+            cache.clear()
+
+            def last_gauge() -> float:
+                samples = [
+                    s for s in tracer.counters if s.name == "uc_cache.idle_ucs"
+                ]
+                assert samples, "no idle-UC gauge samples recorded"
+                return samples[-1].value
+
+            assert len(cache) == 0
+            assert last_gauge() == 0.0
+            # The gauge must have tracked the live count at every step:
+            # replaying the mutation sequence, each emission matches.
+            values = [
+                s.value for s in tracer.counters
+                if s.name == "uc_cache.idle_ucs"
+            ]
+            # put, put, put, pop, reclaim, drop, put, clear(=drop)
+            assert values == [1.0, 2.0, 3.0, 2.0, 1.0, 0.0, 1.0, 0.0]
+        finally:
+            disable()
 
     def test_drop_releases_snapshot_reference(self, alloc, base):
         cache = IdleUCCache()

@@ -1,0 +1,228 @@
+"""Working-set manifests, recorders, registries, and batched resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.address_space import (
+    PAGE_TABLE_CATEGORY,
+    PRIVATE_CATEGORY,
+    AddressSpace,
+)
+from repro.mem.frames import FrameAllocator
+from repro.mem.intervals import IntervalSet
+from repro.mem.workingset import (
+    WorkingSetManifest,
+    WorkingSetRecorder,
+    WorkingSetRegistry,
+)
+from repro.units import PAGES_PER_MB
+
+
+@pytest.fixture
+def alloc():
+    return FrameAllocator(1_000_000)
+
+
+@pytest.fixture
+def snapshot(alloc):
+    parent = AddressSpace(alloc, name="image")
+    parent.write(0, 512)
+    parent.write(2048, 256)
+    snap = parent.capture_snapshot("image")
+    snap.retain()
+    return snap
+
+
+class TestManifest:
+    def test_pages_are_copied_on_init(self):
+        source = IntervalSet([(0, 10)])
+        manifest = WorkingSetManifest(key="k", pages=source)
+        source.add(100, 200)
+        assert manifest.page_count == 10
+
+    def test_size_mb(self):
+        manifest = WorkingSetManifest(
+            key="k", pages=IntervalSet([(0, PAGES_PER_MB * 2)])
+        )
+        assert manifest.size_mb == pytest.approx(2.0)
+
+    def test_fresh_manifest_has_zero_miss_rate(self):
+        manifest = WorkingSetManifest(key="k", pages=IntervalSet([(0, 10)]))
+        assert manifest.miss_rate == 0.0
+        assert manifest.coverage == 1.0
+        assert manifest.replays == 0
+
+    def test_observe_replay_accumulates(self):
+        manifest = WorkingSetManifest(key="k", pages=IntervalSet([(0, 10)]))
+        manifest.observe_replay(hits=90, misses=10)
+        manifest.observe_replay(hits=60, misses=40)
+        assert manifest.replays == 2
+        assert manifest.miss_rate == pytest.approx(50 / 200)
+        assert manifest.coverage == pytest.approx(1.0 - 50 / 200)
+
+    def test_negative_replay_counts_rejected(self):
+        manifest = WorkingSetManifest(key="k", pages=IntervalSet([(0, 10)]))
+        with pytest.raises(ValueError):
+            manifest.observe_replay(-1, 0)
+
+
+class TestRecorder:
+    def test_captures_the_write_set(self, alloc, snapshot):
+        space = AddressSpace(alloc, base=snapshot, name="uc")
+        space.write(0, 4)  # pre-recording: must not appear
+        recorder = WorkingSetRecorder(space)
+        space.write(0, 8)  # already partly private — still a *write*
+        space.write(5000, 16)
+        manifest = recorder.finish("k")
+        assert manifest.pages.intervals() == [(0, 8), (5000, 5016)]
+        assert not space.recording
+
+    def test_counts_faults_not_writes(self, alloc, snapshot):
+        space = AddressSpace(alloc, base=snapshot, name="uc")
+        space.write(0, 4)
+        recorder = WorkingSetRecorder(space)
+        space.write(0, 4)  # private already: writes, no fault
+        space.write(6000, 10)  # faults
+        assert recorder.faults_taken == 10
+        manifest = recorder.finish("k")
+        assert manifest.fault_pages == 10
+
+    def test_mark_connected(self, alloc, snapshot):
+        space = AddressSpace(alloc, base=snapshot, name="uc")
+        recorder = WorkingSetRecorder(space)
+        space.write(0, 6)
+        recorder.mark_connected(6)
+        space.write(7000, 4)
+        manifest = recorder.finish("k")
+        assert manifest.connect_pages == 6
+        assert manifest.fault_pages == 10
+
+    def test_abort_discards(self, alloc, snapshot):
+        space = AddressSpace(alloc, base=snapshot, name="uc")
+        recorder = WorkingSetRecorder(space)
+        space.write(0, 4)
+        recorder.abort()
+        assert not space.recording
+
+
+class TestRegistry:
+    def _manifest(self, key="k", pages=((0, 10),)):
+        return WorkingSetManifest(key=key, pages=IntervalSet(list(pages)))
+
+    def test_record_first_wins(self):
+        registry = WorkingSetRegistry()
+        first = registry.record("k", IntervalSet([(0, 10)]))
+        second = registry.record("k", IntervalSet([(0, 99)]))
+        assert second is first
+        assert registry.get("k").page_count == 10
+        assert registry.stats.recorded == 1
+
+    def test_install_shares_and_never_overwrites(self):
+        registry = WorkingSetRegistry()
+        shipped = self._manifest()
+        registry.install("k", shipped)
+        assert registry.get("k") is shipped
+        registry.install("k", self._manifest(pages=((0, 99),)))
+        assert registry.get("k") is shipped
+        assert registry.stats.installed == 1
+
+    def test_adopt_finishes_a_recorder(self, alloc, snapshot):
+        registry = WorkingSetRegistry()
+        space = AddressSpace(alloc, base=snapshot, name="uc")
+        recorder = WorkingSetRecorder(space)
+        space.write(0, 12)
+        manifest = registry.adopt(recorder, "k")
+        assert registry.get("k") is manifest
+        assert manifest.page_count == 12
+        assert not space.recording
+
+    def test_drop_clear_len_contains(self):
+        registry = WorkingSetRegistry()
+        registry.record("a", IntervalSet([(0, 1)]))
+        registry.record("b", IntervalSet([(0, 2)]))
+        assert len(registry) == 2
+        assert "a" in registry and "b" in registry
+        assert sorted(registry) == ["a", "b"]
+        registry.drop("a")
+        assert "a" not in registry
+        registry.drop("a")  # idempotent
+        registry.clear()
+        assert len(registry) == 0
+
+    def test_note_prefetch_tallies(self):
+        registry = WorkingSetRegistry()
+        registry.note_prefetch(100)
+        registry.note_prefetch(50)
+        assert registry.stats.prefetches == 2
+        assert registry.stats.pages_prefetched == 150
+
+
+class TestResolveBatch:
+    def test_splits_stack_clones_from_fresh_pages(self, alloc, snapshot):
+        space = AddressSpace(alloc, base=snapshot, name="uc")
+        wanted = IntervalSet([(0, 100), (10_000, 10_050)])
+        batch = space.resolve_batch(wanted)
+        assert batch.pages_requested == 150
+        assert batch.pages_resolved == 150
+        assert batch.pages_from_stack == 100  # (0,100) is in the image
+        assert batch.pages_fresh == 50
+        assert batch.mb_resolved == pytest.approx(150 / PAGES_PER_MB)
+
+    def test_skips_already_private(self, alloc, snapshot):
+        space = AddressSpace(alloc, base=snapshot, name="uc")
+        space.write(0, 40)
+        batch = space.resolve_batch(IntervalSet([(0, 100)]))
+        assert batch.pages_resolved == 60
+        assert batch.resolved.intervals() == [(40, 100)]
+        again = space.resolve_batch(IntervalSet([(0, 100)]))
+        assert again.pages_resolved == 0
+        assert again.extents == 0
+
+    def test_no_faults_no_dirty_but_prefetched(self, alloc, snapshot):
+        space = AddressSpace(alloc, base=snapshot, name="uc")
+        batch = space.resolve_batch(IntervalSet([(0, 64)]))
+        assert batch.pages_resolved == 64
+        assert space.fault_count == 0
+        assert space.dirty_pages == 0
+        assert space.prefetched_pages == 64
+        assert space.private_pages == 64
+        # Writes to prefetched pages no longer fault...
+        result = space.write(0, 64)
+        assert result.pages_copied == 0
+        # ...but still dirty (divergence tracking must stay truthful).
+        assert space.dirty_pages == 64
+
+    def test_allocator_accounting_and_destroy(self, alloc, snapshot):
+        space = AddressSpace(alloc, base=snapshot, name="uc")
+        held_before = alloc.category_pages(PRIVATE_CATEGORY)
+        space.resolve_batch(IntervalSet([(0, 128)]))
+        assert alloc.category_pages(PRIVATE_CATEGORY) == held_before + 128
+        freed = space.destroy()
+        assert freed == 128 + space.page_table_pages
+        assert alloc.category_pages(PRIVATE_CATEGORY) == held_before
+
+    def test_write_recording_sees_prefetched_writes(self, alloc, snapshot):
+        # The replay scenario: prefetch absorbs the faults, yet the
+        # recorded write set stays comparable to a lazy recording.
+        space = AddressSpace(alloc, base=snapshot, name="uc")
+        space.resolve_batch(IntervalSet([(0, 32)]))
+        space.start_write_recording()
+        space.write(0, 32)
+        written = space.stop_write_recording()
+        assert written.intervals() == [(0, 32)]
+        assert space.fault_count == 0
+
+    def test_baseless_space_resolves_fresh_only(self, alloc):
+        space = AddressSpace(alloc, name="boot")
+        batch = space.resolve_batch(IntervalSet([(0, 16)]))
+        assert batch.pages_from_stack == 0
+        assert batch.pages_fresh == 16
+
+    def test_destroyed_space_rejects_batch(self, alloc, snapshot):
+        space = AddressSpace(alloc, base=snapshot, name="uc")
+        space.destroy()
+        from repro.errors import SnapshotError
+
+        with pytest.raises(SnapshotError):
+            space.resolve_batch(IntervalSet([(0, 4)]))
