@@ -1,6 +1,6 @@
 # Development entry points.
 
-.PHONY: install test bench perfgate chaos repro repro-quick trace examples clean
+.PHONY: install test bench perfgate chaos overload repro repro-quick trace examples clean
 
 install:
 	pip install -e .
@@ -28,6 +28,11 @@ perfgate:
 chaos:
 	pytest tests/ -m chaos
 	python -m repro.experiments.runner chaos --quick
+
+# Overload-control acceptance suite + goodput sweep (fixed seeds).
+overload:
+	pytest tests/ -m overload
+	python -m repro.experiments.runner overload --quick
 
 # Regenerate every paper table/figure (EXPERIMENTS.md's numbers).
 repro:

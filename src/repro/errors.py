@@ -55,6 +55,37 @@ class InvocationError(ReproError):
     """A function invocation failed platform-side (timeout, overload)."""
 
 
+class DeadlineExceededError(InvocationError):
+    """A request's deadline expired before useful work could complete.
+
+    Raised (or carried as an interrupt cause / result error) by the
+    overload control plane: an already-expired request fails fast at the
+    controller without ever touching a node, and in-flight node work is
+    cancelled between stages once its propagated deadline passes —
+    releasing the core, UC, and memory instead of running as a zombie.
+    """
+
+
+class QueueFullError(InvocationError):
+    """A node's bounded admission queue rejected (shed) a request.
+
+    Which request gets shed depends on the configured
+    :class:`~repro.faas.overload.ShedPolicy`: the incoming one
+    (reject-newest), the oldest still-queued one (reject-oldest), or
+    queued work whose deadline has already expired (drop-expired).
+    """
+
+
+class RetryBudgetExhaustedError(InvocationError):
+    """The cluster-wide retry token bucket denied another retry.
+
+    Per-request backoff limits bound how hard *one* client hammers the
+    platform; the retry budget bounds the *aggregate* retry rate (e.g.
+    retries <= 10% of admitted requests) so that correlated failures
+    during overload cannot metastasize into a retry storm.
+    """
+
+
 class CircuitOpenError(InvocationError):
     """A request was rejected because no routable node's circuit is closed.
 

@@ -32,6 +32,7 @@ __all__ = [
     "run_figure8",
     "run_ksm_contrast",
     "run_latency",
+    "run_overload",
     "run_prefetch",
     "run_sensitivity",
     "run_table1",
@@ -56,6 +57,7 @@ _LAZY = {
     "run_codesize": "repro.experiments.codesize",
     "run_latency": "repro.experiments.latency",
     "run_prefetch": "repro.experiments.prefetch",
+    "run_overload": "repro.experiments.overload",
 }
 
 #: Every module that registers specs, in display order (``all`` runs
@@ -73,6 +75,7 @@ EXPERIMENT_MODULES = (
     "repro.experiments.codesize",
     "repro.experiments.prefetch",
     "repro.experiments.chaos",
+    "repro.experiments.overload",
 )
 
 

@@ -29,7 +29,7 @@ from repro.faas.cluster import FaasCluster
 from repro.faas.controller import RetryPolicy
 from repro.faas.health import BreakerPolicy
 from repro.faults import FaultPlan
-from repro.metrics.resilience import ResilienceReport
+from repro.metrics.resilience import ResilienceReport, goodput_per_sec
 from repro.seuss.config import SeussConfig
 from repro.seuss.node import SeussNode
 from repro.sim import Environment
@@ -151,6 +151,19 @@ def run_chaos(
 
     result.raw["reports"] = reports
     result.raw["trials"] = trials
+    # Goodput / wasted-work aggregates (raw only, so the table text is
+    # unchanged): with no deadlines attached goodput degrades to plain
+    # completed-requests-per-second.
+    result.raw["aggregates"] = {
+        label: {
+            "goodput_per_sec": goodput_per_sec(
+                trial.results,
+                trial.metrics.finished_ms - trial.metrics.started_ms,
+            ),
+            "wasted_work_fraction": reports[label].wasted_work_fraction,
+        }
+        for label, trial in trials.items()
+    }
     result.add_note(
         "'off' = no resilience wiring; '0.00x' = full wiring, zero "
         "probabilities — identical latency columns demonstrate the "

@@ -29,6 +29,7 @@ from repro.faas.health import (
 )
 from repro.faas.httpserver import ExternalHttpServer
 from repro.faas.messagebus import MessageBus
+from repro.faas.overload import OverloadConfig, OverloadControl
 from repro.faas.records import FunctionSpec, InvocationResult
 from repro.faas.registry import FunctionRegistry
 from repro.faults import FaultInjector, FaultPlan
@@ -51,6 +52,7 @@ class FaasCluster:
         faults: Optional[Union[FaultPlan, FaultInjector]] = None,
         retries: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerPolicy] = None,
+        overload: Optional[OverloadConfig] = None,
     ) -> None:
         self.env = env
         self.node = node
@@ -62,16 +64,32 @@ class FaasCluster:
         self.bus = MessageBus(env, injector=self.fault_injector)
         self.shim = shim
         self.external_server = ExternalHttpServer(env)
+        # The overload control plane is a resilience knob like the rest:
+        # a disabled (or omitted) config wires nothing.
+        if overload is not None and not overload.enabled:
+            overload = None
+        self.overload: Optional[OverloadControl] = (
+            OverloadControl(env, overload) if overload is not None else None
+        )
         # Health tracking engages with any resilience knob; otherwise the
         # controller keeps the historical direct-node fast path.
         resilient = (
             self.fault_injector is not None
             or retries is not None
             or breaker is not None
+            or self.overload is not None
         )
         self.breaker_policy = breaker or BreakerPolicy()
         self.health: List[NodeHealth] = []
         self.router: Optional[NodeRouter] = NodeRouter() if resilient else None
+        if self.router is not None and self.overload is not None:
+            if self.overload.config.queue_depth is not None:
+                # Queue depth is the backpressure signal: bursts drain
+                # toward the least-congested node.
+                overload_control = self.overload
+                self.router.prefer_least_loaded(
+                    lambda health: overload_control.depth_of(health.node)
+                )
         self._attach_node(node)
         self.controller = Controller(
             env,
@@ -81,12 +99,15 @@ class FaasCluster:
             bus=self.bus,
             retries=retries,
             router=self.router,
+            overload=self.overload,
         )
 
     # -- node membership -------------------------------------------------
     def _attach_node(self, node) -> None:
         if self.fault_injector is not None and hasattr(node, "fault_injector"):
             node.fault_injector = self.fault_injector
+        if self.overload is not None:
+            self.overload.register_node(node)
         if self.router is not None:
             health = NodeHealth(
                 node, CircuitBreaker(self.env, self.breaker_policy)
@@ -123,6 +144,7 @@ class FaasCluster:
         faults: Optional[Union[FaultPlan, FaultInjector]] = None,
         retries: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerPolicy] = None,
+        overload: Optional[OverloadConfig] = None,
     ) -> "FaasCluster":
         """OpenWhisk with the SEUSS OS VM behind the shim process."""
         node = SeussNode(env, config=config, costs=costs)
@@ -137,6 +159,7 @@ class FaasCluster:
             faults=faults,
             retries=retries,
             breaker=breaker,
+            overload=overload,
         )
 
     @classmethod
@@ -149,6 +172,7 @@ class FaasCluster:
         faults: Optional[Union[FaultPlan, FaultInjector]] = None,
         retries: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerPolicy] = None,
+        overload: Optional[OverloadConfig] = None,
     ) -> "FaasCluster":
         """Stock OpenWhisk: Linux + Docker compute node, no shim."""
         from repro.linuxnode.node import LinuxNode
@@ -164,6 +188,7 @@ class FaasCluster:
             faults=faults,
             retries=retries,
             breaker=breaker,
+            overload=overload,
         )
 
     # -- client API ------------------------------------------------------

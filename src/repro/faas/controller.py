@@ -30,9 +30,16 @@ from dataclasses import dataclass, field
 from typing import Generator, List, Optional
 
 from repro.costs import PlatformCostModel
-from repro.errors import CircuitOpenError, ConfigError
+from repro.errors import (
+    CircuitOpenError,
+    ConfigError,
+    DeadlineExceededError,
+    QueueFullError,
+    RetryBudgetExhaustedError,
+)
 from repro.faas.health import NodeRouter
 from repro.faas.messagebus import MessageBus
+from repro.faas.overload import OverloadControl
 from repro.faas.quotas import DISABLED, QuotaConfig, QuotaEnforcer
 from repro.faas.records import (
     FunctionSpec,
@@ -48,6 +55,10 @@ from repro.trace import tracer_for
 #: Fractions of the control-plane overhead paid before/after node work
 #: (gateway + schedule + bus publish vs. activation store + response).
 PRE_NODE_FRACTION = 0.7
+
+#: Sentinel ``_attempt_node`` returns when the request was already
+#: expired before dispatch — fail fast, the node was never touched.
+EXPIRED_BEFORE_DISPATCH = object()
 
 
 @dataclass(frozen=True)
@@ -135,6 +146,8 @@ class ControllerStats:
     retry_exhausted: int = 0
     #: Attempts rejected because every node's circuit was open.
     circuit_rejected: int = 0
+    #: Already-expired requests failed fast before touching a node.
+    deadline_rejected: int = 0
 
 
 class Controller:
@@ -150,6 +163,7 @@ class Controller:
         quotas: QuotaConfig = DISABLED,
         retries: Optional[RetryPolicy] = None,
         router: Optional[NodeRouter] = None,
+        overload: Optional[OverloadControl] = None,
     ) -> None:
         self.env = env
         self.node = node
@@ -160,6 +174,9 @@ class Controller:
         self.quotas = QuotaEnforcer(quotas)
         self.retries = retries or NO_RETRIES
         self.router = router
+        #: The overload control plane (deadlines, admission queues,
+        #: retry budget); ``None`` keeps the historical control flow.
+        self.overload = overload
         self._retry_rng = random.Random(self.retries.seed)
         self.stats = ControllerStats()
         #: Audit log of scheduled retries (empty unless retries fire).
@@ -173,16 +190,46 @@ class Controller:
     def post_node_ms(self) -> float:
         return self.costs.control_plane_ms * (1.0 - PRE_NODE_FRACTION)
 
+    def _remaining_ms(self, request: InvocationRequest) -> float:
+        """Time until the client stops waiting: min(timeout, deadline).
+
+        The no-deadline arithmetic replicates the historical expression
+        exactly (same float operations, same rounding) so default-path
+        event schedules stay byte-identical.
+        """
+        remaining = self.costs.request_timeout_ms - (
+            self.env.now - request.sent_at_ms
+        )
+        if request.deadline_ms is not None:
+            remaining = min(remaining, request.deadline_ms - self.env.now)
+        return remaining
+
     # -- node attempts ---------------------------------------------------
     def _attempt_node(self, fn: FunctionSpec, request: InvocationRequest, span):
         """Sim sub-process: one dispatch to a (routed) node.
 
         Returns the :class:`NodeInvocation` — synthesized when every
-        circuit is open — or ``None`` if the client deadline expired.
-        ``span`` is this attempt's trace span; circuit rejections and
-        node errors are annotated onto it.
+        circuit is open or the node's admission queue shed the request —
+        or ``None`` if the client deadline expired (before dispatch or
+        while waiting; the caller distinguishes via ``request``'s clock
+        state).  ``span`` is this attempt's trace span; rejections,
+        sheds, cancellations and node errors are annotated onto it.
         """
         env = self.env
+        remaining = self._remaining_ms(request)
+        if remaining <= 0:
+            # Fail fast: an already-expired request must never touch a
+            # node (historically it was dispatched with a 0.1 ms grace
+            # timeout and burned node work nobody was waiting for).
+            self.stats.deadline_rejected += 1
+            if self.overload is not None:
+                self.overload.stats.deadline_rejected += 1
+            span.annotate(deadline_rejected=True)
+            tracer = tracer_for(env)
+            if tracer.enabled:
+                tracer.counter("overload.deadline_rejected")
+            return EXPIRED_BEFORE_DISPATCH
+
         health = None
         if self.router is not None:
             try:
@@ -201,19 +248,64 @@ class Controller:
         else:
             node = self.node
 
-        node_process = node.invoke(fn)
-        remaining = self.costs.request_timeout_ms - (env.now - request.sent_at_ms)
-        if remaining <= 0:
-            remaining = 0.1
+        queue = None
+        if self.overload is not None:
+            queue = self.overload.queue_for(node)
+            if queue is not None and not queue.try_admit(request, env.now):
+                # Shed at admission: fail the attempt without recording
+                # a breaker failure (the node is congested, not broken).
+                error = QueueFullError(
+                    f"admission queue full on node (depth {queue.depth}, "
+                    f"policy {queue.policy.value})"
+                )
+                span.annotate(shed=True, error=str(error))
+                tracer = tracer_for(env)
+                if tracer.enabled:
+                    tracer.counter("overload.shed")
+                return NodeInvocation(
+                    path=InvocationPath.ERROR,
+                    success=False,
+                    latency_ms=0.0,
+                    error=str(error),
+                    function_key=fn.key,
+                    cancelled=True,
+                )
+
+        if request.deadline_ms is not None and self.overload is not None:
+            node_process = node.invoke(
+                fn,
+                deadline_ms=request.deadline_ms,
+                cancel_expired=self.overload.config.cancel_expired,
+            )
+        else:
+            node_process = node.invoke(fn)
+        if queue is not None:
+            queue.attach(request, node_process)
         deadline = env.timeout(remaining)
         yield AnyOf(env, [node_process, deadline])
 
         if not node_process.processed:
-            # Client gave up; the node finishes (or fails) on its own.
+            # Client gave up.  With cancellation enabled the zombie is
+            # interrupted so it releases its core, UC and memory now;
+            # historically the node finishes (or fails) on its own.
             span.annotate(timed_out=True)
+            if (
+                self.overload is not None
+                and self.overload.config.cancel_expired
+                and node_process.cancel(
+                    DeadlineExceededError("client deadline expired")
+                )
+            ):
+                self.overload.stats.cancelled += 1
+                span.annotate(cancelled=True)
+                tracer = tracer_for(env)
+                if tracer.enabled:
+                    tracer.counter("overload.cancelled")
             return None
         node_result = node_process.value
-        if health is not None:
+        if health is not None and not node_result.cancelled:
+            # Cancelled/shed work says nothing about node health; only
+            # real outcomes feed the breaker.
             if node_result.success:
                 health.record_success()
             else:
@@ -221,6 +313,8 @@ class Controller:
         span.annotate(
             success=node_result.success, node_path=node_result.path.value
         )
+        if node_result.cancelled:
+            span.annotate(cancelled=True)
         if node_result.error is not None:
             # Failures here are injected (crashes, corruption) or
             # synthetic (open circuits); keep the cause on the span.
@@ -231,6 +325,10 @@ class Controller:
         self, result: NodeInvocation, attempt: int, backoff_spent: float
     ) -> bool:
         if result.success or not self.retries.enabled:
+            return False
+        if result.cancelled:
+            # Deadline-expired or shed-evicted work: retrying would
+            # re-queue load the platform just decided to drop.
             return False
         if attempt >= self.retries.max_attempts:
             return False
@@ -244,9 +342,18 @@ class Controller:
         Returns an :class:`InvocationResult`.
         """
         env = self.env
-        request = InvocationRequest(function=fn, sent_at_ms=env.now)
+        request = InvocationRequest(
+            function=fn,
+            sent_at_ms=env.now,
+            deadline_ms=(
+                self.overload.deadline_for(env.now)
+                if self.overload is not None
+                else None
+            ),
+        )
         self.stats.received += 1
-        root = tracer_for(env).span(
+        tracer = tracer_for(env)
+        root = tracer.span(
             "request",
             at=env.now,
             category="controller",
@@ -256,11 +363,17 @@ class Controller:
 
         try:
             # Namespace throttling happens at the gateway, before any work.
+            rate_before = self.quotas.stats.rate_rejections
             admitted, reason = self.quotas.try_admit(fn.owner, env.now)
             if not admitted:
                 self.stats.throttled += 1
                 self.stats.failed += 1
                 root.annotate(throttled=True, error=f"throttled: {reason}")
+                if tracer.enabled:
+                    if self.quotas.stats.rate_rejections > rate_before:
+                        tracer.counter("quota.rate_rejections")
+                    else:
+                        tracer.counter("quota.concurrency_rejections")
                 return InvocationResult(
                     request_id=request.request_id,
                     function_key=fn.key,
@@ -270,6 +383,9 @@ class Controller:
                     finished_at_ms=env.now,
                     error=f"throttled: {reason}",
                 )
+
+            if self.overload is not None:
+                self.overload.note_admitted()
 
             try:
                 # API gateway -> controller -> Kafka.
@@ -293,10 +409,24 @@ class Controller:
                         fn, request, attempt_span
                     )
                     attempt_span.finish(at=env.now)
-                    if node_result is None:
-                        self.stats.timed_out += 1
+                    if (
+                        node_result is None
+                        or node_result is EXPIRED_BEFORE_DISPATCH
+                    ):
+                        if node_result is EXPIRED_BEFORE_DISPATCH:
+                            # Satellite fix: an already-expired request
+                            # fails fast with a typed error instead of
+                            # being dispatched on a 0.1 ms grace timeout.
+                            error = str(
+                                DeadlineExceededError(
+                                    "deadline exceeded before dispatch"
+                                )
+                            )
+                        else:
+                            self.stats.timed_out += 1
+                            error = "request timed out"
                         self.stats.failed += 1
-                        root.annotate(error="request timed out")
+                        root.annotate(error=error)
                         return InvocationResult(
                             request_id=request.request_id,
                             function_key=fn.key,
@@ -304,12 +434,27 @@ class Controller:
                             success=False,
                             sent_at_ms=request.sent_at_ms,
                             finished_at_ms=env.now,
-                            error="request timed out",
+                            error=error,
                             attempts=attempt,
                         )
                     if not self._should_retry(node_result, attempt, backoff_spent):
                         if not node_result.success and self.retries.enabled:
                             self.stats.retry_exhausted += 1
+                        break
+                    if self.overload is not None and not self.overload.allow_retry():
+                        # Cluster-wide retry budget spent: eat the failure
+                        # rather than amplify overload into a retry storm.
+                        self.stats.retry_exhausted += 1
+                        root.annotate(
+                            retry_budget_exhausted=True,
+                            error=str(
+                                RetryBudgetExhaustedError(
+                                    "cluster retry budget exhausted"
+                                )
+                            ),
+                        )
+                        if tracer.enabled:
+                            tracer.counter("overload.retry_budget_denied")
                         break
                     backoff = self.retries.backoff_ms(attempt, self._retry_rng)
                     self.stats.retried += 1
@@ -333,6 +478,34 @@ class Controller:
             finally:
                 self.quotas.release(fn.owner)
 
+            if (
+                node_result.success
+                and request.deadline_ms is not None
+                and env.now > request.deadline_ms
+            ):
+                # The node finished in time but the response path did
+                # not: the client already gave up, so the answer is a
+                # client-visible failure (the node could not have known
+                # — its own work stays accounted as useful).
+                self.stats.timed_out += 1
+                self.stats.failed += 1
+                error = str(
+                    DeadlineExceededError("response missed the client deadline")
+                )
+                root.annotate(late_response=True, error=error)
+                return InvocationResult(
+                    request_id=request.request_id,
+                    function_key=fn.key,
+                    path=node_result.path,
+                    success=False,
+                    sent_at_ms=request.sent_at_ms,
+                    finished_at_ms=env.now,
+                    node_latency_ms=node_result.latency_ms,
+                    breakdown=dict(node_result.breakdown),
+                    error=error,
+                    pages_copied=node_result.pages_copied,
+                    attempts=attempt,
+                )
             if node_result.success:
                 self.stats.succeeded += 1
                 if attempt > 1:

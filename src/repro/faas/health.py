@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import CircuitOpenError, ConfigError
 from repro.sim import Environment
@@ -192,14 +192,29 @@ class NodeHealth:
 
 
 class NodeRouter:
-    """Round-robin over the nodes whose breakers admit traffic."""
+    """Round-robin over the nodes whose breakers admit traffic.
+
+    With a backpressure signal installed
+    (:meth:`prefer_least_loaded`), admittable nodes are tried in
+    ascending load order instead — the overload control plane feeds it
+    each node's admission-queue depth so bursts drain toward the least
+    congested node.  Ties keep the round-robin rotation, and without a
+    signal the routing is byte-identical to the historical round-robin.
+    """
 
     def __init__(self, healths: Optional[List[NodeHealth]] = None) -> None:
         self._healths: List[NodeHealth] = list(healths or [])
         self._next = 0
+        self._load_of: Optional[Callable[[NodeHealth], float]] = None
 
     def add(self, health: NodeHealth) -> None:
         self._healths.append(health)
+
+    def prefer_least_loaded(
+        self, load_of: Callable[[NodeHealth], float]
+    ) -> None:
+        """Install a backpressure signal (e.g. admission-queue depth)."""
+        self._load_of = load_of
 
     @property
     def healths(self) -> List[NodeHealth]:
@@ -218,7 +233,17 @@ class NodeRouter:
         if not self._healths:
             raise ConfigError("router has no nodes")
         count = len(self._healths)
-        for offset in range(count):
+        offsets = range(count)
+        if self._load_of is not None:
+            # Try admittable nodes least-loaded first; admit() stays the
+            # single (probe-slot-consuming) gate, called in that order.
+            offsets = sorted(
+                offsets,
+                key=lambda offset: self._load_of(
+                    self._healths[(self._next + offset) % count]
+                ),
+            )
+        for offset in offsets:
             health = self._healths[(self._next + offset) % count]
             if health.admit():
                 self._next = (self._next + offset + 1) % count

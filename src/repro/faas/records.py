@@ -120,6 +120,14 @@ class NodeInvocation:
     function_key: str = ""
     #: Absolute simulated time each Figure-1 stage completed.
     stage_times: Dict[InvocationStage, float] = field(default_factory=dict)
+    #: The invocation was cancelled mid-flight (deadline expiry or a
+    #: shed policy evicting it from the admission queue); its resources
+    #: were released and ``wasted_ms`` of node time produced no answer.
+    cancelled: bool = False
+    #: Node time burned on work nobody received (cancelled elapsed time,
+    #: or the full service time of a zombie that completed past its
+    #: deadline).  Always 0.0 with overload control off.
+    wasted_ms: float = 0.0
 
     def stages_in_order(self) -> "list[InvocationStage]":
         return sorted(self.stage_times, key=self.stage_times.get)
@@ -130,11 +138,27 @@ _request_ids = itertools.count(1)
 
 @dataclass
 class InvocationRequest:
-    """One invocation in flight."""
+    """One invocation in flight.
+
+    ``deadline_ms`` is an *absolute* simulated time after which the
+    client no longer wants the answer.  ``None`` (the default) keeps
+    the historical behaviour: only the platform request timeout
+    applies, and nothing downstream ever consults a deadline.
+    """
 
     function: FunctionSpec
     sent_at_ms: float
     request_id: int = field(default_factory=lambda: next(_request_ids))
+    deadline_ms: Optional[float] = None
+
+    def remaining_ms(self, now_ms: float) -> Optional[float]:
+        """Time left until the deadline, or ``None`` when undeadlined."""
+        if self.deadline_ms is None:
+            return None
+        return self.deadline_ms - now_ms
+
+    def expired(self, now_ms: float) -> bool:
+        return self.deadline_ms is not None and now_ms >= self.deadline_ms
 
 
 @dataclass

@@ -17,7 +17,7 @@ from collections import OrderedDict, deque
 from typing import Deque, Dict, Generator, List, Optional
 
 from repro.costs import CostBook, DEFAULT_COSTS
-from repro.errors import OutOfMemoryError
+from repro.errors import DeadlineExceededError, OutOfMemoryError
 from repro.faas.records import (
     FunctionSpec,
     InvocationPath,
@@ -30,7 +30,7 @@ from repro.linuxnode.config import LinuxNodeConfig
 from repro.linuxnode.instances import Instance, InstanceKind, InstanceState
 from repro.linuxnode.stemcell import StemcellPool
 from repro.mem.frames import FrameAllocator, node_allocator
-from repro.sim import Environment, Event, Process, Resource
+from repro.sim import Environment, Event, Interrupted, Process, Resource
 
 #: Broadcast packets (ARP/DHCP) sent while plumbing a container's veth.
 CREATION_BROADCASTS = 3
@@ -76,6 +76,14 @@ class LinuxNode:
             concurrency=self.config.stemcell_repopulate_concurrency,
         )
         self.stats = PathCounts()
+        #: Overload-control accounting (mirrors SeussNode): cancelled
+        #: invocations, zombies finished past their deadline, and the
+        #: core time both burned.  Zero unless deadlines propagate.
+        self.cancelled_count = 0
+        self.zombie_count = 0
+        self.wasted_ms = 0.0
+        #: Core time spent on completions somebody received.
+        self.useful_ms = 0.0
         # Raw instances from the Table 3 density / creation-rate tests.
         self.raw_instances: Dict[InstanceKind, List[Instance]] = {
             kind: [] for kind in InstanceKind
@@ -193,47 +201,77 @@ class LinuxNode:
         """
         self._creating_count += 1
         self._creations_in_flight += 1
+        created = False
+        # The counter bookkeeping lives in finally blocks so that a
+        # cancellation delivered during the creation sleep cannot leak
+        # a phantom "creating" slot (which would pin container capacity
+        # forever); an aborted creation also passes its capacity wake on.
         try:
-            duration = self.costs.linux.container_create_ms(
-                existing=self.total_containers - 1,
-                concurrent=self._creations_in_flight,
+            try:
+                duration = self.costs.linux.container_create_ms(
+                    existing=self.total_containers - 1,
+                    concurrent=self._creations_in_flight,
+                )
+                duration += CREATION_BROADCASTS * self.bridge.broadcast_cost_ms()
+                yield self.env.timeout(duration)
+                failed = self.bridge.roll_connection_failure(
+                    self._creations_in_flight
+                )
+            finally:
+                self._creations_in_flight -= 1
+
+            pages = InstanceKind.CONTAINER.footprint_pages(self.costs.linux)
+            if failed or not self.allocator.try_allocate(
+                pages, InstanceKind.CONTAINER.value
+            ):
+                return None
+
+            self.bridge.attach()
+            instance = Instance(
+                kind=InstanceKind.CONTAINER,
+                footprint_pages=pages,
+                created_at_ms=self.env.now,
+                state=InstanceState.BUSY,
             )
-            duration += CREATION_BROADCASTS * self.bridge.broadcast_cost_ms()
-            yield self.env.timeout(duration)
-            failed = self.bridge.roll_connection_failure(self._creations_in_flight)
+            created = True
+            if generic:
+                # Stemcells are pooled, not busy; pool length counts them.
+                instance.state = InstanceState.IDLE
+            else:
+                self._busy_count += 1
+            return instance
         finally:
-            self._creations_in_flight -= 1
-
-        pages = InstanceKind.CONTAINER.footprint_pages(self.costs.linux)
-        if failed or not self.allocator.try_allocate(
-            pages, InstanceKind.CONTAINER.value
-        ):
             self._creating_count -= 1
-            self._notify_capacity()
-            return None
-
-        self.bridge.attach()
-        instance = Instance(
-            kind=InstanceKind.CONTAINER,
-            footprint_pages=pages,
-            created_at_ms=self.env.now,
-            state=InstanceState.BUSY,
-        )
-        self._creating_count -= 1
-        if generic:
-            # Stemcells are pooled, not busy; pool length counts them.
-            instance.state = InstanceState.IDLE
-        else:
-            self._busy_count += 1
-        return instance
+            if not created:
+                self._notify_capacity()
 
     # -- platform invocation ----------------------------------------------
-    def invoke(self, fn: FunctionSpec) -> Process:
+    def invoke(
+        self,
+        fn: FunctionSpec,
+        deadline_ms: Optional[float] = None,
+        cancel_expired: bool = False,
+    ) -> Process:
         """Start servicing an invocation; the process's value is a
-        :class:`NodeInvocation`."""
-        return self.env.process(self._invoke(fn))
+        :class:`NodeInvocation`.
 
-    def _invoke(self, fn: FunctionSpec) -> Generator:
+        ``deadline_ms`` / ``cancel_expired`` mirror
+        :meth:`repro.seuss.node.SeussNode.invoke`: the client's absolute
+        deadline, and whether expired work is aborted (and cancellable)
+        rather than finishing as a zombie.  Both default off.
+        """
+        return self.env.process(
+            self._invoke(
+                fn, deadline_ms=deadline_ms, cancel_expired=cancel_expired
+            )
+        )
+
+    def _invoke(
+        self,
+        fn: FunctionSpec,
+        deadline_ms: Optional[float] = None,
+        cancel_expired: bool = False,
+    ) -> Generator:
         env = self.env
         costs = self.costs.linux
         started = env.now
@@ -249,94 +287,176 @@ class LinuxNode:
         def reached(stage: InvocationStage) -> None:
             stage_times[stage] = env.now
 
-        instance = self._pop_idle(fn.key)
-        if instance is not None:
-            path = InvocationPath.HOT
-            if self.config.pause_containers:
-                # Idle containers were paused; resume before use.  The
-                # paper disables pausing because this tax destabilizes
-                # the hot path under heavy load.
-                yield env.timeout(charge("unpause", costs.container_unpause_ms))
-            yield env.timeout(charge(STAGE_HOT, costs.container_hot_ms))
-            reached(InvocationStage.CODE_IMPORTED)
-        else:
-            stemcell = self.stemcells.take()
-            if stemcell is not None:
-                path = InvocationPath.WARM
-                instance = stemcell
-                instance.state = InstanceState.BUSY
-                self._busy_count += 1
-                instance.bind(fn.key)
-                reached(InvocationStage.ENVIRONMENT_CREATED)
-                reached(InvocationStage.RUNTIME_INITIALIZED)
-                yield env.timeout(charge(STAGE_IMPORT, costs.container_import_ms))
+        def check_deadline() -> None:
+            # Stage-boundary deadline gate (only with cancellation on).
+            if (
+                cancel_expired
+                and deadline_ms is not None
+                and env.now >= deadline_ms
+            ):
+                raise Interrupted(
+                    DeadlineExceededError("deadline passed at stage boundary")
+                )
+
+        # Cancellation-safe ownership state: what this invocation holds
+        # right now, so an Interrupted at any yield can hand it all back.
+        path = InvocationPath.ERROR
+        instance = None
+        core = None
+        core_acquired_at = None
+        busy_ms = 0.0
+        waiter = None
+
+        try:
+            instance = self._pop_idle(fn.key)
+            if instance is not None:
+                path = InvocationPath.HOT
+                if self.config.pause_containers:
+                    # Idle containers were paused; resume before use.  The
+                    # paper disables pausing because this tax destabilizes
+                    # the hot path under heavy load.
+                    yield env.timeout(
+                        charge("unpause", costs.container_unpause_ms)
+                    )
+                yield env.timeout(charge(STAGE_HOT, costs.container_hot_ms))
                 reached(InvocationStage.CODE_IMPORTED)
             else:
-                path = InvocationPath.COLD
-                # Make room in the container cache, waiting for an
-                # evictable container if everything is busy.
-                while not self.has_container_capacity():
-                    victim = self._evict_one_idle()
-                    if victim is not None:
-                        yield env.timeout(
-                            charge(STAGE_EVICT, costs.container_destroy_ms)
-                        )
-                        break
-                    waiter = Event(env)
-                    self._capacity_waiters.append(waiter)
-                    yield waiter
-                creation_started = env.now
-                instance = yield from self.create_container()
-                charge(STAGE_CREATE, env.now - creation_started)
-                if instance is None:
-                    # The container's control connection timed out; the
-                    # client-side request will error at the platform
-                    # timeout (the 'x' marks of Figures 6-8).
-                    self.stats.errors += 1
-                    stall = self.costs.platform.request_timeout_ms * 1.1
-                    yield env.timeout(stall)
-                    return NodeInvocation(
-                        path=InvocationPath.ERROR,
-                        success=False,
-                        latency_ms=env.now - started,
-                        breakdown=breakdown,
-                        error="container connection timed out (bridge)",
-                        function_key=fn.key,
+                stemcell = self.stemcells.take()
+                if stemcell is not None:
+                    path = InvocationPath.WARM
+                    instance = stemcell
+                    instance.state = InstanceState.BUSY
+                    self._busy_count += 1
+                    instance.bind(fn.key)
+                    reached(InvocationStage.ENVIRONMENT_CREATED)
+                    reached(InvocationStage.RUNTIME_INITIALIZED)
+                    yield env.timeout(
+                        charge(STAGE_IMPORT, costs.container_import_ms)
                     )
-                instance.bind(fn.key)
-                reached(InvocationStage.ENVIRONMENT_CREATED)
-                reached(InvocationStage.RUNTIME_INITIALIZED)
-                yield env.timeout(charge(STAGE_IMPORT, costs.container_import_ms))
-                reached(InvocationStage.CODE_IMPORTED)
+                    reached(InvocationStage.CODE_IMPORTED)
+                else:
+                    path = InvocationPath.COLD
+                    # Make room in the container cache, waiting for an
+                    # evictable container if everything is busy.
+                    while not self.has_container_capacity():
+                        victim = self._evict_one_idle()
+                        if victim is not None:
+                            yield env.timeout(
+                                charge(STAGE_EVICT, costs.container_destroy_ms)
+                            )
+                            break
+                        waiter = Event(env)
+                        self._capacity_waiters.append(waiter)
+                        yield waiter
+                        waiter = None
+                    creation_started = env.now
+                    instance = yield from self.create_container()
+                    charge(STAGE_CREATE, env.now - creation_started)
+                    if instance is None:
+                        # The container's control connection timed out; the
+                        # client-side request will error at the platform
+                        # timeout (the 'x' marks of Figures 6-8).
+                        self.stats.errors += 1
+                        stall = self.costs.platform.request_timeout_ms * 1.1
+                        yield env.timeout(stall)
+                        return NodeInvocation(
+                            path=InvocationPath.ERROR,
+                            success=False,
+                            latency_ms=env.now - started,
+                            breakdown=breakdown,
+                            error="container connection timed out (bridge)",
+                            function_key=fn.key,
+                        )
+                    instance.bind(fn.key)
+                    reached(InvocationStage.ENVIRONMENT_CREATED)
+                    reached(InvocationStage.RUNTIME_INITIALIZED)
+                    yield env.timeout(
+                        charge(STAGE_IMPORT, costs.container_import_ms)
+                    )
+                    reached(InvocationStage.CODE_IMPORTED)
 
-        reached(InvocationStage.ARGUMENTS_LOADED)
-        core = self.cores.request()
-        yield core
-        try:
-            yield env.timeout(charge(STAGE_EXEC, fn.exec_ms))
-            if fn.io_wait_ms > 0:
-                self.cores.release(core)
-                core = None
-                yield env.timeout(charge(STAGE_IO_WAIT, fn.io_wait_ms))
-                core = self.cores.request()
-                yield core
-        finally:
+            reached(InvocationStage.ARGUMENTS_LOADED)
+            check_deadline()
+            core = self.cores.request()
+            yield core
+            core_acquired_at = env.now
+            try:
+                yield env.timeout(charge(STAGE_EXEC, fn.exec_ms))
+                if fn.io_wait_ms > 0:
+                    self.cores.release(core)
+                    core = None
+                    busy_ms += env.now - core_acquired_at
+                    core_acquired_at = None
+                    yield env.timeout(charge(STAGE_IO_WAIT, fn.io_wait_ms))
+                    core = self.cores.request()
+                    yield core
+                    core_acquired_at = env.now
+            finally:
+                if core is not None:
+                    self.cores.release(core)
+                    core = None
+                if core_acquired_at is not None:
+                    busy_ms += env.now - core_acquired_at
+                    core_acquired_at = None
+
+            reached(InvocationStage.EXECUTED)
+            reached(InvocationStage.RESULT_RETURNED)
+            instance.invocations += 1
+            self._cache_idle(instance)
+            self.stats.count(path)
+            wasted = 0.0
+            if deadline_ms is not None and env.now > deadline_ms:
+                # Zombie completion: the client stopped waiting.
+                self.zombie_count += 1
+                self.wasted_ms += busy_ms
+                wasted = busy_ms
+            else:
+                self.useful_ms += busy_ms
+            return NodeInvocation(
+                path=path,
+                success=True,
+                latency_ms=env.now - started,
+                breakdown=breakdown,
+                function_key=fn.key,
+                stage_times=stage_times,
+                wasted_ms=wasted,
+            )
+        except Interrupted as exc:
+            # Cancelled mid-flight: hand back everything held.  The
+            # container is destroyed (its partial state is unusable) and
+            # the freed capacity wakes any cold start parked behind it.
             if core is not None:
-                self.cores.release(core)
-
-        reached(InvocationStage.EXECUTED)
-        reached(InvocationStage.RESULT_RETURNED)
-        instance.invocations += 1
-        self._cache_idle(instance)
-        self.stats.count(path)
-        return NodeInvocation(
-            path=path,
-            success=True,
-            latency_ms=env.now - started,
-            breakdown=breakdown,
-            function_key=fn.key,
-            stage_times=stage_times,
-        )
+                self.cores.release(core)  # handles a queued request too
+                core = None
+            if core_acquired_at is not None:
+                busy_ms += env.now - core_acquired_at
+                core_acquired_at = None
+            if waiter is not None:
+                if waiter.triggered:
+                    self._notify_capacity()  # pass the consumed wake on
+                else:
+                    try:
+                        self._capacity_waiters.remove(waiter)
+                    except ValueError:
+                        pass
+            if instance is not None:
+                self._busy_count -= 1
+                self._destroy_container(instance)
+                self._notify_capacity()
+            error = str(exc.cause) if exc.cause is not None else "cancelled"
+            self.cancelled_count += 1
+            self.wasted_ms += busy_ms
+            return NodeInvocation(
+                path=path,
+                success=False,
+                latency_ms=env.now - started,
+                breakdown=breakdown,
+                error=error,
+                function_key=fn.key,
+                stage_times=stage_times,
+                cancelled=True,
+                wasted_ms=busy_ms,
+            )
 
     # -- Table 3: raw instance deployment -------------------------------------
     def deploy_instance(self, kind: InstanceKind) -> Generator:

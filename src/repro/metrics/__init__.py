@@ -1,7 +1,7 @@
 """Measurement utilities: percentiles, latency series, throughput."""
 
 from repro.metrics.collector import LatencyRecorder, ThroughputWindow, TrialMetrics
-from repro.metrics.resilience import ResilienceReport
+from repro.metrics.resilience import ResilienceReport, goodput_per_sec
 from repro.metrics.stats import LatencySummary, mean, percentile, summarize
 from repro.metrics.reporter import format_table, paper_vs_measured
 
@@ -12,6 +12,7 @@ __all__ = [
     "ThroughputWindow",
     "TrialMetrics",
     "format_table",
+    "goodput_per_sec",
     "mean",
     "paper_vs_measured",
     "percentile",

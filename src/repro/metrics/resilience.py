@@ -11,7 +11,21 @@ chaos experiment tabulates and tests assert against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List
+
+
+def goodput_per_sec(results: Iterable, duration_ms: float) -> float:
+    """Completed-within-deadline requests per second of simulated time.
+
+    With the overload control plane's deadlines attached, a request that
+    misses its deadline is failed at the controller, so client-visible
+    ``success`` *is* "completed within deadline"; without deadlines this
+    degrades gracefully to plain throughput.
+    """
+    if duration_ms <= 0:
+        return 0.0
+    completed = sum(1 for result in results if result.success)
+    return completed * 1000.0 / duration_ms
 
 
 @dataclass
@@ -27,6 +41,19 @@ class ResilienceReport:
     recovered: int = 0
     retry_exhausted: int = 0
     circuit_rejected: int = 0
+    # Gateway quotas (zero with the paper's quotas-disabled default).
+    throttled: int = 0
+    quota_rate_rejections: int = 0
+    quota_concurrency_rejections: int = 0
+    # Overload control plane (all zero with overload off).
+    deadline_rejected: int = 0
+    shed: int = 0
+    cancelled: int = 0
+    zombies: int = 0
+    retry_budget_denied: int = 0
+    # Node work accounting (core-ms).
+    useful_ms: float = 0.0
+    wasted_ms: float = 0.0
     # Node-side.
     node_crashes: int = 0
     node_restarts: int = 0
@@ -46,6 +73,14 @@ class ResilienceReport:
             return 1.0
         return self.succeeded / self.received
 
+    @property
+    def wasted_work_fraction(self) -> float:
+        """Node core time burned for nobody over all core time spent."""
+        total = self.useful_ms + self.wasted_ms
+        if total <= 0:
+            return 0.0
+        return self.wasted_ms / total
+
     @classmethod
     def from_cluster(cls, cluster) -> "ResilienceReport":
         """Collect from a :class:`~repro.faas.cluster.FaasCluster`."""
@@ -59,7 +94,21 @@ class ResilienceReport:
             recovered=stats.recovered,
             retry_exhausted=stats.retry_exhausted,
             circuit_rejected=stats.circuit_rejected,
+            throttled=stats.throttled,
+            deadline_rejected=stats.deadline_rejected,
         )
+        quota_stats = cluster.controller.quotas.stats
+        report.quota_rate_rejections = quota_stats.rate_rejections
+        report.quota_concurrency_rejections = quota_stats.concurrency_rejections
+        overload = getattr(cluster, "overload", None)
+        if overload is not None:
+            report.shed = overload.stats.shed
+            report.retry_budget_denied = overload.stats.retry_budget_denied
+        for node in getattr(cluster, "nodes", []):
+            report.cancelled += getattr(node, "cancelled_count", 0)
+            report.zombies += getattr(node, "zombie_count", 0)
+            report.useful_ms += getattr(node, "useful_ms", 0.0)
+            report.wasted_ms += getattr(node, "wasted_ms", 0.0)
         for topic_stats in cluster.bus.stats.values():
             report.bus_dropped += topic_stats.dropped
             report.bus_delayed += topic_stats.delayed
@@ -91,6 +140,37 @@ class ResilienceReport:
             f"snapshots quarantined: {self.snapshots_quarantined}",
             f"bus: {self.bus_dropped} dropped, {self.bus_delayed} delayed",
         ]
+        # Quota / overload rows appear only when those planes acted, so
+        # historical (overload-off, quota-off) reports are unchanged.
+        if (
+            self.throttled
+            or self.quota_rate_rejections
+            or self.quota_concurrency_rejections
+        ):
+            out.append(
+                f"quotas: {self.throttled} throttled "
+                f"({self.quota_rate_rejections} rate, "
+                f"{self.quota_concurrency_rejections} concurrency)"
+            )
+        if (
+            self.shed
+            or self.cancelled
+            or self.deadline_rejected
+            or self.zombies
+            or self.retry_budget_denied
+        ):
+            out.append(
+                f"overload: {self.shed} shed, {self.cancelled} cancelled, "
+                f"{self.deadline_rejected} rejected at deadline, "
+                f"{self.zombies} zombies, "
+                f"{self.retry_budget_denied} retries denied"
+            )
+        if self.wasted_ms:
+            out.append(
+                f"node work: {self.useful_ms:.0f} ms useful, "
+                f"{self.wasted_ms:.0f} ms wasted "
+                f"({self.wasted_work_fraction:.1%} wasted)"
+            )
         if self.faults_injected:
             fired = ", ".join(
                 f"{kind}={count}"

@@ -17,9 +17,13 @@ tracer and the invocation is byte-identical to an untraced one.
 
 from __future__ import annotations
 
-from typing import Dict, Generator
+from typing import Dict, Generator, Optional
 
-from repro.errors import OutOfMemoryError, SnapshotCorruptionError
+from repro.errors import (
+    DeadlineExceededError,
+    OutOfMemoryError,
+    SnapshotCorruptionError,
+)
 from repro.faas.records import (
     FunctionSpec,
     InvocationPath,
@@ -27,6 +31,7 @@ from repro.faas.records import (
     NodeInvocation,
 )
 from repro.mem.workingset import WorkingSetRecorder
+from repro.sim import Interrupted
 from repro.trace import tracer_for
 from repro.unikernel.context import UnikernelContext
 from repro.units import pages_to_mb
@@ -47,11 +52,28 @@ STAGE_IO_WAIT = "io_wait"
 STAGE_RESULT = "result_return"
 
 
-def invoke_on_node(node, fn: FunctionSpec) -> Generator:
+def invoke_on_node(
+    node,
+    fn: FunctionSpec,
+    deadline_ms: Optional[float] = None,
+    cancel_expired: bool = False,
+) -> Generator:
     """Service one invocation; yields sim events, returns NodeInvocation.
 
     ``node`` is a :class:`~repro.seuss.node.SeussNode` (typed loosely to
     avoid an import cycle).
+
+    ``deadline_ms`` is the client's absolute deadline, propagated so the
+    node can tell work somebody is waiting for from work nobody is: a
+    successful completion past the deadline is accounted a *zombie*
+    (its core time lands in ``node.wasted_ms``).  With ``cancel_expired``
+    the invoker additionally aborts at stage boundaries once the
+    deadline passes, and the whole process is cancellable at any yield
+    — an :class:`~repro.sim.Interrupted` (from the controller's
+    deadline watchdog or an admission-queue shed) unwinds the
+    invocation, releases its core, UC pages and network mapping
+    immediately, and returns a ``cancelled`` result.  Both default off,
+    leaving the historical event schedule untouched.
     """
     env = node.env
     costs = node.costs.seuss
@@ -89,6 +111,31 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
     def reached(stage: InvocationStage) -> None:
         stage_times[stage] = env.now
 
+    def check_deadline() -> None:
+        # Stage-boundary deadline gate (active only with cancellation
+        # on): never start the next stage for a client that already
+        # gave up.  The controller's watchdog usually cancels first;
+        # this catches exact-boundary races.
+        if (
+            cancel_expired
+            and deadline_ms is not None
+            and env.now >= deadline_ms
+        ):
+            raise Interrupted(
+                DeadlineExceededError("deadline passed at stage boundary")
+            )
+
+    # Core-occupancy accounting: ``busy_ms`` is the time this invocation
+    # actually held a core — the node work truly wasted if it is
+    # cancelled or completes as a zombie (queue and I/O waits burn no
+    # core and are not charged).
+    core = None
+    core_acquired_at = None
+    busy_ms = 0.0
+    #: A captured-but-not-yet-cached function snapshot (cold path); on
+    #: cancellation it is orphaned so the UC teardown reaps its pages.
+    captured = None
+
     try:
         # -- path selection -------------------------------------------
         injector = node.fault_injector
@@ -123,7 +170,9 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
         core = node.cores.request()
         queue_started = env.now
         yield core
+        core_acquired_at = env.now
         root.done(STAGE_QUEUE_WAIT, queue_started, env.now)
+        check_deadline()
         try:
             if path is not InvocationPath.HOT:
                 runtime_record = node.runtime_record(fn.runtime)
@@ -226,6 +275,7 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
                         trigger_label="code_compiled",
                         flatten=not node.config.snapshot_stacks,
                     )
+                    captured = snapshot
                     yield env.timeout(
                         charge(
                             STAGE_CAPTURE, costs.snapshot_capture_ms(snapshot.size_mb)
@@ -244,6 +294,7 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
                         # Lost the insertion race to a concurrent cold start;
                         # reap this duplicate when its UC is destroyed.
                         snapshot.mark_orphan()
+                    captured = None
                     reached(InvocationStage.CODE_IMPORTED)
                 else:  # WARM
                     uc.restore_function(fn.key, fn.code_kb)
@@ -281,6 +332,7 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
                 reached(InvocationStage.CODE_IMPORTED)  # resident in the idle UC
 
             # -- common tail: args, execute, result -------------------------
+            check_deadline()
             result = uc.import_args()
             pages_copied += result.pages_copied
             yield env.timeout(charge(STAGE_ARGS, costs.arg_import_ms))
@@ -317,11 +369,15 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
                 # core while waiting.
                 node.cores.release(core)
                 core = None
+                busy_ms += env.now - core_acquired_at
+                core_acquired_at = None
                 yield env.timeout(charge(STAGE_IO_WAIT, fn.io_wait_ms))
                 core = node.cores.request()
                 queue_started = env.now
                 yield core
+                core_acquired_at = env.now
                 root.done(STAGE_QUEUE_WAIT, queue_started, env.now)
+            check_deadline()
             reached(InvocationStage.EXECUTED)
             yield env.timeout(charge(STAGE_RESULT, costs.result_return_ms))
             reached(InvocationStage.RESULT_RETURNED)
@@ -343,6 +399,10 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
         finally:
             if core is not None:
                 node.cores.release(core)
+                core = None
+            if core_acquired_at is not None:
+                busy_ms += env.now - core_acquired_at
+                core_acquired_at = None
 
         # -- working-set bookkeeping ---------------------------------------
         if recorder is not None:
@@ -373,6 +433,16 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
         root.annotate(success=True, pages_copied=pages_copied)
         if pages_prefetched:
             root.annotate(pages_prefetched=pages_prefetched)
+        wasted = 0.0
+        if deadline_ms is not None and env.now > deadline_ms:
+            # Zombie: the answer is correct but the client stopped
+            # waiting — every core-ms this burned was for nobody.
+            node.zombie_count += 1
+            node.wasted_ms += busy_ms
+            wasted = busy_ms
+            root.annotate(zombie=True, wasted_ms=busy_ms)
+        else:
+            node.useful_ms += busy_ms
         return NodeInvocation(
             path=path,
             success=True,
@@ -382,6 +452,40 @@ def invoke_on_node(node, fn: FunctionSpec) -> Generator:
             pages_prefetched=pages_prefetched,
             function_key=fn.key,
             stage_times=stage_times,
+            wasted_ms=wasted,
+        )
+    except Interrupted as exc:
+        # Cancelled mid-flight (controller deadline watchdog, a shed
+        # policy's eviction, or the stage-boundary gate above): unwind
+        # now, releasing whatever was held, and report the core time
+        # burned as wasted work.
+        if core is not None:
+            node.cores.release(core)  # handles a still-queued request too
+            core = None
+        if core_acquired_at is not None:
+            busy_ms += env.now - core_acquired_at
+            core_acquired_at = None
+        if captured is not None:
+            captured.mark_orphan()  # reaped by the UC teardown below
+        if uc is not None:
+            uc.destroy()
+        cause = exc.cause
+        error = str(cause) if cause is not None else "cancelled"
+        node.cancelled_count += 1
+        node.wasted_ms += busy_ms
+        root.annotate(cancelled=True, error=error, wasted_ms=busy_ms)
+        return NodeInvocation(
+            path=path,
+            success=False,
+            latency_ms=env.now - started,
+            breakdown=breakdown,
+            pages_copied=pages_copied,
+            pages_prefetched=pages_prefetched,
+            error=error,
+            function_key=fn.key,
+            stage_times=stage_times,
+            cancelled=True,
+            wasted_ms=busy_ms,
         )
     finally:
         root.finish(at=env.now)

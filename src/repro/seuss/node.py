@@ -96,6 +96,17 @@ class SeussNode:
         self.crashed = False
         self.crash_count = 0
         self.restart_count = 0
+        #: Overload-control accounting: invocations cancelled mid-flight,
+        #: zombies that completed after their client's deadline, and the
+        #: node core time both burned for nothing.  All stay zero unless
+        #: the controller propagates deadlines.
+        self.cancelled_count = 0
+        self.zombie_count = 0
+        self.wasted_ms = 0.0
+        #: Core time spent on completions somebody received (the useful
+        #: complement of ``wasted_ms``; denominator of the wasted-work
+        #: fraction).
+        self.useful_ms = 0.0
 
     # -- initialization ----------------------------------------------------
     def initialize(self) -> Generator:
@@ -230,11 +241,19 @@ class SeussNode:
         return self.env.process(_reboot())
 
     # -- invocation ------------------------------------------------------
-    def invoke(self, fn: FunctionSpec) -> Process:
+    def invoke(
+        self,
+        fn: FunctionSpec,
+        deadline_ms: Optional[float] = None,
+        cancel_expired: bool = False,
+    ) -> Process:
         """Start servicing an invocation; returns its sim process.
 
         The process's value is a
-        :class:`~repro.seuss.invoker.NodeInvocation`.
+        :class:`~repro.seuss.invoker.NodeInvocation`.  ``deadline_ms``
+        (absolute sim time) propagates the client's deadline so the
+        invoker can account zombie completions and — with
+        ``cancel_expired`` — abort between stages once it passes.
         """
         if not self.initialized:
             raise ConfigError("node not initialized; call initialize_sync() first")
@@ -247,7 +266,11 @@ class SeussNode:
             self.crash_for(injector.plan.node_restart_ms)
         if self.crashed:
             return self.env.process(self._crashed_invocation(fn))
-        return self.env.process(invoke_on_node(self, fn))
+        return self.env.process(
+            invoke_on_node(
+                self, fn, deadline_ms=deadline_ms, cancel_expired=cancel_expired
+            )
+        )
 
     def _crashed_invocation(self, fn: FunctionSpec) -> Generator:
         """A dead node's peer sees an immediate connection reset."""

@@ -17,6 +17,7 @@ from repro.sim.core import (
     Environment,
     Event,
     Interrupt,
+    Interrupted,
     Process,
     SimulationError,
     Timeout,
@@ -29,6 +30,7 @@ __all__ = [
     "Environment",
     "Event",
     "Interrupt",
+    "Interrupted",
     "Process",
     "Resource",
     "SimulationError",

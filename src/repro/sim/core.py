@@ -38,6 +38,12 @@ class Interrupt(Exception):
         return self.args[0] if self.args else None
 
 
+#: First-class name for the exception a cancelled process catches.
+#: ``Interrupt`` mirrors simpy; cancellation sites in the platform code
+#: read better catching ``Interrupted`` (same class, both importable).
+Interrupted = Interrupt
+
+
 # Event lifecycle states.
 PENDING = "pending"
 TRIGGERED = "triggered"
@@ -185,7 +191,25 @@ class Process(Event):
         interruption.callbacks.append(self._resume)
         self.env._schedule(interruption, priority=URGENT)
 
+    def cancel(self, cause: Any = None) -> bool:
+        """Interrupt the process if it is still alive.
+
+        The tolerant form of :meth:`interrupt` for cancellation races:
+        cancelling work that already finished (or that is the currently
+        running process) is a no-op rather than an error.  Returns
+        whether an interrupt was actually delivered.
+        """
+        if not self.is_alive or self._generator.gi_running:
+            return False
+        self.interrupt(cause)
+        return True
+
     def _resume(self, event: Event) -> None:
+        if self._state != PENDING:
+            # A late interrupt raced with completion (two cancellers at
+            # the same instant): the generator already returned, so
+            # there is nothing left to throw into.
+            return
         # If we were interrupted while waiting, detach from the old target
         # so its eventual trigger does not resume us twice.
         if self._target is not None and self._target is not event:

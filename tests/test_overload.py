@@ -1,0 +1,462 @@
+"""The overload control plane: units, integration and acceptance.
+
+Unit tests cover the knobs in isolation (config validation, retry
+budget arithmetic, admission-queue shed policies).  Integration tests
+drive real clusters: fail-fast on pre-expired deadlines (the node must
+never be touched), mid-execution cancellation with bounded wasted
+work, naive-mode zombie accounting, and the resilience report rows.
+The ``overload``-marked acceptance class locks the headline claim: at
+2x offered load the controlled arm delivers strictly more goodput and
+strictly less wasted work than the naive arm — with and without the
+chaos fault plan layered on top.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.overload import (
+    DEADLINE_MS,
+    cluster_capacity_rps,
+    run_overload,
+    run_overload_trial,
+)
+from repro.faas.cluster import FaasCluster
+from repro.faas.overload import (
+    OVERLOAD_DISABLED,
+    AdmissionQueue,
+    OverloadConfig,
+    OverloadControl,
+    OverloadStats,
+    RetryBudget,
+    ShedPolicy,
+)
+from repro.faas.records import InvocationRequest
+from repro.metrics.resilience import ResilienceReport, goodput_per_sec
+from repro.sim import Environment
+from repro.workload.functions import cpu_bound_function, nop_function
+
+
+# -- config ---------------------------------------------------------------
+
+
+class TestOverloadConfig:
+    def test_default_is_disabled(self):
+        assert not OVERLOAD_DISABLED.enabled
+        assert not OverloadConfig().enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_ms": 100.0},
+            {"queue_depth": 2},
+            {"retry_budget_fraction": 0.1},
+        ],
+    )
+    def test_any_knob_enables(self, kwargs):
+        assert OverloadConfig(**kwargs).enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_ms": 0.0},
+            {"deadline_ms": -5.0},
+            {"queue_depth": -1},
+            {"retry_budget_fraction": 1.5},
+            {"retry_budget_fraction": -0.1},
+            {"retry_budget_fraction": 0.1, "retry_budget_burst": -1.0},
+            {"cancel_expired": True},  # requires deadline_ms
+        ],
+    )
+    def test_invalid_configs_raise(self, kwargs):
+        with pytest.raises(ConfigError):
+            OverloadConfig(**kwargs)
+
+    def test_disabled_config_wires_nothing_into_cluster(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(env, overload=OVERLOAD_DISABLED)
+        assert cluster.overload is None
+        assert cluster.router is None  # historical fast path kept
+
+
+# -- retry budget ---------------------------------------------------------
+
+
+class TestRetryBudget:
+    def test_burst_then_starvation(self):
+        budget = RetryBudget(fraction=0.5, burst=2.0)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert not budget.try_spend()  # bucket empty
+        assert budget.denied == 1
+
+    def test_admissions_earn_tokens(self):
+        budget = RetryBudget(fraction=0.5, burst=2.0)
+        budget.try_spend(), budget.try_spend()
+        budget.note_admitted()
+        budget.note_admitted()  # 2 admissions x 0.5 = 1 token
+        assert budget.try_spend()
+        assert not budget.try_spend()
+
+    def test_tokens_cap_at_burst(self):
+        budget = RetryBudget(fraction=1.0, burst=3.0)
+        for _ in range(10):
+            budget.note_admitted()
+        assert budget.tokens == 3.0
+
+    def test_control_counts_denials(self):
+        env = Environment()
+        control = OverloadControl(
+            env,
+            OverloadConfig(retry_budget_fraction=0.1, retry_budget_burst=1.0),
+        )
+        assert control.allow_retry()
+        assert not control.allow_retry()
+        assert control.stats.retry_budget_denied == 1
+
+    def test_no_budget_always_allows(self):
+        env = Environment()
+        control = OverloadControl(env, OverloadConfig(deadline_ms=100.0))
+        assert all(control.allow_retry() for _ in range(100))
+
+
+# -- admission queue ------------------------------------------------------
+
+
+class _FakeCores:
+    def __init__(self, capacity):
+        self.capacity = capacity
+
+
+class _FakeNode:
+    def __init__(self, capacity=1):
+        self.cores = _FakeCores(capacity)
+
+
+class _FakeProcess:
+    def __init__(self):
+        self.cancelled_with = None
+        self.callbacks = []
+
+    def cancel(self, cause):
+        self.cancelled_with = cause
+        return True
+
+
+def _request(request_id, now=0.0, deadline_ms=None):
+    return InvocationRequest(
+        request_id=request_id,
+        function=nop_function(),
+        sent_at_ms=now,
+        deadline_ms=deadline_ms,
+    )
+
+
+def _queue(policy, cores=1, depth=1):
+    return AdmissionQueue(
+        _FakeNode(cores), depth, policy, OverloadStats()
+    )
+
+
+class TestAdmissionQueue:
+    def test_admits_up_to_cores_plus_depth(self):
+        queue = _queue(ShedPolicy.REJECT_NEWEST, cores=1, depth=1)
+        assert queue.try_admit(_request(1), 0.0)
+        assert queue.try_admit(_request(2), 0.0)
+        assert not queue.try_admit(_request(3), 0.0)
+        assert queue.stats.shed_newest == 1
+        assert queue.depth == 2
+
+    def test_reject_oldest_cancels_queued_victim(self):
+        queue = _queue(ShedPolicy.REJECT_OLDEST, cores=1, depth=1)
+        running, queued = _FakeProcess(), _FakeProcess()
+        assert queue.try_admit(_request(1), 0.0)
+        queue.attach(_request(1), running)
+        assert queue.try_admit(_request(2), 0.0)
+        queue.attach(_request(2), queued)
+        # Full: the *queued* entry (2) is sacrificed, never the running
+        # one, and the newcomer takes its slot.
+        assert queue.try_admit(_request(3), 1.0)
+        assert queued.cancelled_with is not None
+        assert running.cancelled_with is None
+        assert queue.stats.shed_oldest == 1
+
+    def test_drop_expired_prefers_dead_queued_work(self):
+        queue = _queue(ShedPolicy.DROP_EXPIRED, cores=1, depth=1)
+        expired = _FakeProcess()
+        assert queue.try_admit(_request(1, deadline_ms=1000.0), 0.0)
+        assert queue.try_admit(_request(2, deadline_ms=5.0), 0.0)
+        queue.attach(_request(2), expired)
+        # now=10 > request 2's deadline: it is evicted, newcomer admitted.
+        assert queue.try_admit(_request(3, deadline_ms=1000.0), 10.0)
+        assert expired.cancelled_with is not None
+        assert queue.stats.shed_expired == 1
+
+    def test_drop_expired_falls_back_to_tail_drop(self):
+        queue = _queue(ShedPolicy.DROP_EXPIRED, cores=1, depth=1)
+        assert queue.try_admit(_request(1, deadline_ms=1000.0), 0.0)
+        assert queue.try_admit(_request(2, deadline_ms=1000.0), 0.0)
+        # Nothing queued is expired: the newcomer is rejected instead.
+        assert not queue.try_admit(_request(3, deadline_ms=1000.0), 10.0)
+        assert queue.stats.shed_newest == 1
+
+    def test_completion_frees_the_slot(self):
+        queue = _queue(ShedPolicy.REJECT_NEWEST, cores=1, depth=0)
+        process = _FakeProcess()
+        assert queue.try_admit(_request(1), 0.0)
+        queue.attach(_request(1), process)
+        assert not queue.try_admit(_request(2), 0.0)
+        process.callbacks[0](None)  # the node process completed
+        assert queue.depth == 0
+        assert queue.try_admit(_request(3), 0.0)
+
+
+# -- integration: fail-fast, cancellation, zombies ------------------------
+
+
+def _overloaded_cluster(env, overload, exec_ms=50.0):
+    cluster = FaasCluster.with_seuss_node(env, overload=overload)
+    fn = cpu_bound_function("victim", owner="t", exec_ms=exec_ms)
+    return cluster, fn
+
+
+class TestDeadlineFailFast:
+    """Satellite regression: a request already past its deadline must
+    fail at the controller without ever reaching a node (the historical
+    code clamped the remaining time to 0.1 ms and dispatched anyway)."""
+
+    def test_expired_request_never_touches_the_node(self):
+        env = Environment()
+        # Deadline far below the pre-node control-plane latency
+        # (~143 ms): expired before any node dispatch could happen.
+        cluster, fn = _overloaded_cluster(
+            env, OverloadConfig(deadline_ms=5.0)
+        )
+        result = cluster.invoke_sync(fn)
+        assert not result.success
+        assert "deadline" in result.error
+        assert cluster.node.stats.total == 0  # node untouched
+        assert cluster.controller.stats.deadline_rejected == 1
+        assert cluster.controller.stats.timed_out == 0
+        assert cluster.overload.stats.deadline_rejected == 1
+
+    def test_report_surfaces_the_rejection(self):
+        env = Environment()
+        cluster, fn = _overloaded_cluster(env, OverloadConfig(deadline_ms=5.0))
+        cluster.invoke_sync(fn)
+        report = ResilienceReport.from_cluster(cluster)
+        assert report.deadline_rejected == 1
+        assert any("rejected at deadline" in line for line in report.lines())
+
+
+class TestCancellation:
+    def test_expired_work_is_cancelled_and_waste_bounded(self):
+        env = Environment()
+        # Deadline passes while the 200 ms body is executing: the
+        # controller cancels the node process mid-run.
+        cluster, fn = _overloaded_cluster(
+            env,
+            OverloadConfig(
+                deadline_ms=250.0, cancel_expired=True, queue_depth=4
+            ),
+            exec_ms=200.0,
+        )
+        result = cluster.invoke_sync(fn)
+        node = cluster.node
+        assert not result.success
+        assert node.cancelled_count == 1
+        assert node.zombie_count == 0
+        # Waste is the partial execution, strictly less than a full body.
+        assert 0.0 < node.wasted_ms < 200.0
+        assert cluster.overload.stats.cancelled == 1
+
+    def test_cancelled_core_is_reusable(self):
+        env = Environment()
+        cluster, fn = _overloaded_cluster(
+            env,
+            OverloadConfig(
+                deadline_ms=250.0, cancel_expired=True, queue_depth=4
+            ),
+            exec_ms=200.0,
+        )
+        assert not cluster.invoke_sync(fn).success
+        quick = cpu_bound_function("quick", owner="t", exec_ms=10.0)
+        assert cluster.invoke_sync(quick).success  # core was released
+
+    def test_naive_mode_completes_as_zombie(self):
+        env = Environment()
+        cluster, fn = _overloaded_cluster(
+            env, OverloadConfig(deadline_ms=250.0), exec_ms=200.0
+        )
+        result = cluster.invoke_sync(fn)
+        env.run()  # let the abandoned node work run to completion
+        node = cluster.node
+        assert not result.success  # the client gave up at the deadline
+        assert node.zombie_count == 1
+        assert node.cancelled_count == 0
+        # The full body was burned for nobody.
+        assert node.wasted_ms >= 200.0
+
+
+# -- observability: quota + overload counters surface ---------------------
+
+
+class TestCountersSurface:
+    def test_quota_rejections_emit_tracer_counters(self):
+        from repro import trace
+        from repro.costs import DEFAULT_COSTS
+        from repro.faas.controller import Controller
+        from repro.faas.quotas import QuotaConfig
+        from repro.seuss.node import SeussNode
+        from repro.trace import Tracer
+
+        env = Environment()
+        node = SeussNode(env)
+        node.initialize_sync()
+        controller = Controller(
+            env,
+            node,
+            DEFAULT_COSTS.platform,
+            quotas=QuotaConfig(invocations_per_minute=1),
+        )
+        fn = nop_function()
+        tracer = trace.enable(Tracer())
+        try:
+            env.run(until=env.process(controller.invoke(fn)))
+            throttled = env.run(until=env.process(controller.invoke(fn)))
+        finally:
+            trace.disable()
+        assert not throttled.success
+        assert tracer.counter_total("quota.rate_rejections") == 1
+
+    def test_overload_counters_emit_tracer_counters(self):
+        from repro import trace
+        from repro.trace import Tracer
+
+        env = Environment()
+        cluster, fn = _overloaded_cluster(env, OverloadConfig(deadline_ms=5.0))
+        tracer = trace.enable(Tracer())
+        try:
+            cluster.invoke_sync(fn)
+        finally:
+            trace.disable()
+        assert tracer.counter_total("overload.deadline_rejected") == 1
+
+    def test_quota_row_in_report_lines(self):
+        report = ResilienceReport(throttled=3, quota_rate_rejections=2)
+        assert any("quotas: 3 throttled" in line for line in report.lines())
+
+    def test_quiet_report_has_no_quota_or_overload_rows(self):
+        report = ResilienceReport()
+        lines = report.lines()
+        assert not any("quotas:" in line for line in lines)
+        assert not any("overload:" in line for line in lines)
+        assert not any("node work:" in line for line in lines)
+
+
+# -- goodput helper -------------------------------------------------------
+
+
+class TestGoodput:
+    def test_counts_successes_per_second(self):
+        class R:
+            def __init__(self, success):
+                self.success = success
+
+        results = [R(True), R(True), R(False)]
+        assert goodput_per_sec(results, 1000.0) == 2.0
+        assert goodput_per_sec(results, 0.0) == 0.0
+        assert goodput_per_sec([], 500.0) == 0.0
+
+
+# -- acceptance (deterministic, fixed seeds) ------------------------------
+
+
+@pytest.mark.overload
+class TestOverloadAcceptance:
+    DURATION_MS = 1200.0
+
+    @pytest.fixture(scope="class")
+    def at_two_x(self):
+        naive = run_overload_trial(
+            2.0, duration_ms=self.DURATION_MS, controlled=False
+        )
+        controlled = run_overload_trial(
+            2.0, duration_ms=self.DURATION_MS, controlled=True
+        )
+        return naive, controlled
+
+    def test_controlled_goodput_strictly_higher(self, at_two_x):
+        (n_rec, _, n_elapsed), (c_rec, _, c_elapsed) = at_two_x
+        naive = goodput_per_sec(n_rec.results, n_elapsed)
+        controlled = goodput_per_sec(c_rec.results, c_elapsed)
+        assert controlled > naive
+
+    def test_controlled_wastes_strictly_less(self, at_two_x):
+        (_, n_rep, _), (_, c_rep, _) = at_two_x
+        assert c_rep.wasted_work_fraction < n_rep.wasted_work_fraction
+
+    def test_naive_burns_cores_on_zombies(self, at_two_x):
+        (_, n_rep, _), (_, c_rep, _) = at_two_x
+        assert n_rep.zombies > 0
+        assert c_rep.zombies == 0  # expired work is cancelled, not run
+
+    def test_controlled_sheds_instead_of_queueing(self, at_two_x):
+        (_, n_rep, _), (_, c_rep, _) = at_two_x
+        assert c_rep.shed > 0
+        assert n_rep.shed == 0
+
+    def test_successes_meet_the_deadline(self, at_two_x):
+        for recorder, _, _ in at_two_x:
+            for result in recorder.successes:
+                assert result.latency_ms <= DEADLINE_MS + 1e-6
+
+    def test_holds_under_chaos(self):
+        n_rec, _, n_el = run_overload_trial(
+            2.0, duration_ms=self.DURATION_MS, controlled=False, chaos=True
+        )
+        c_rec, _, c_el = run_overload_trial(
+            2.0, duration_ms=self.DURATION_MS, controlled=True, chaos=True
+        )
+        assert goodput_per_sec(c_rec.results, c_el) > goodput_per_sec(
+            n_rec.results, n_el
+        )
+
+    def test_experiment_smoke_profile(self):
+        result = run_overload(
+            multiples=(2.0,), duration_ms=400.0, chaos=False
+        )
+        assert result.experiment_id == "overload"
+        assert len(result.rows) == 2  # naive + ctrl
+        aggregates = result.raw["aggregates"]
+        assert (
+            aggregates["2.0x ctrl"]["goodput_per_sec"]
+            > aggregates["2.0x naive"]["goodput_per_sec"]
+        )
+
+    def test_determinism(self):
+        one = run_overload_trial(2.0, duration_ms=400.0, controlled=True)
+        two = run_overload_trial(2.0, duration_ms=400.0, controlled=True)
+        assert [r.latency_ms for r in one[0].results] == [
+            r.latency_ms for r in two[0].results
+        ]
+        assert one[2] == two[2]
+
+    def test_underload_arms_agree(self):
+        """At 0.5x nothing sheds, cancels or zombifies — the control
+        plane is pure overhead-free observation."""
+        n_rec, n_rep, _ = run_overload_trial(
+            0.5, duration_ms=self.DURATION_MS, controlled=False
+        )
+        c_rec, c_rep, _ = run_overload_trial(
+            0.5, duration_ms=self.DURATION_MS, controlled=True
+        )
+        assert n_rep.shed == c_rep.shed == 0
+        assert n_rep.cancelled == c_rep.cancelled == 0
+        assert [r.latency_ms for r in n_rec.results] == [
+            r.latency_ms for r in c_rec.results
+        ]
+
+    def test_capacity_matches_cost_book(self):
+        assert cluster_capacity_rps() == pytest.approx(39.76, abs=0.01)
