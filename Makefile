@@ -1,6 +1,6 @@
 # Development entry points.
 
-.PHONY: install test bench perfgate chaos overload repro repro-quick trace examples clean
+.PHONY: install test bench perfgate chaos overload scale repro repro-quick trace examples clean
 
 install:
 	pip install -e .
@@ -33,6 +33,11 @@ chaos:
 overload:
 	pytest tests/ -m overload
 	python -m repro.experiments.runner overload --quick
+
+# Sharded-control-plane acceptance suite + scale sweep (fixed seeds).
+scale:
+	pytest tests/ -m scale
+	python -m repro.experiments.runner scale --quick
 
 # Regenerate every paper table/figure (EXPERIMENTS.md's numbers).
 repro:

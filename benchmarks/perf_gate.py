@@ -223,6 +223,53 @@ def bench_batched_fault_resolve() -> Tuple[int, float]:
     return pages, elapsed
 
 
+def bench_routing_decision() -> Tuple[int, float]:
+    """Snapshot-affinity ranking over a warm fleet: the per-dispatch
+    cost the sharded control plane adds on the routing hot path.
+
+    Eight nodes, 64 functions with snapshots spread across them, mixed
+    hit/miss probes — one op is one full rank + select bookkeeping.
+    """
+    from repro.faas.health import (
+        BreakerPolicy,
+        CircuitBreaker,
+        NodeHealth,
+        NodeRouter,
+    )
+    from repro.faas.routing import make_policy
+    from repro.sim import Environment
+    from repro.workload.functions import nop_function
+
+    class Holder:
+        """A stand-in node exposing only the snapshot-cache probe."""
+
+        def __init__(self):
+            self.snapshot_cache = {}
+
+    env = Environment()
+    rng = random.Random(12)
+    nodes = [Holder() for _ in range(8)]
+    functions = [nop_function(f"bench-{i}") for i in range(64)]
+    for fn in functions[:48]:  # 48 resident, 16 never-seen (cold probes)
+        nodes[rng.randrange(len(nodes))].snapshot_cache[fn.key] = None
+    loads = {id(node): rng.randrange(4) for node in nodes}
+    router = NodeRouter(env=env)
+    for node in nodes:
+        router.add(NodeHealth(node, CircuitBreaker(env, BreakerPolicy())))
+    router.policy = make_policy(
+        "snapshot_affinity", load_of=lambda h: loads[id(h.node)]
+    )
+    probes = [functions[rng.randrange(len(functions))] for _ in range(500)]
+    rounds = 40
+    started = time.perf_counter()
+    for _ in range(rounds):
+        for fn in probes:
+            router.select(fn)
+    elapsed = time.perf_counter() - started
+    assert router.stats.decisions == rounds * len(probes)
+    return rounds * len(probes), elapsed
+
+
 def bench_event_loop() -> Tuple[int, float]:
     """Timeout-heavy process churn: raw engine events per second."""
     from repro.sim import Environment
@@ -254,6 +301,7 @@ BENCHMARKS: Dict[str, Tuple[Callable[[], Tuple[int, float]], str]] = {
     "cow_fault_storm": (bench_cow_fault_storm, "writes"),
     "batched_fault_resolve": (bench_batched_fault_resolve, "pages"),
     "snapshot_churn": (bench_snapshot_churn, "cycles"),
+    "routing_decision": (bench_routing_decision, "decisions"),
     "event_loop": (bench_event_loop, "events"),
 }
 

@@ -27,9 +27,11 @@ from repro.distributed.registry import GlobalSnapshotRegistry
 from repro.distributed.transfer import ClusterInterconnect, TransferStrategy
 from repro.errors import ConfigError
 from repro.faas.records import FunctionSpec, InvocationPath, NodeInvocation
+from repro.faas.routing import RoutingStats, pick_least_loaded
 from repro.seuss.config import SeussConfig
 from repro.seuss.node import SeussNode
 from repro.sim import Environment, Process
+from repro.trace import tracer_for
 
 
 class SchedulingPolicy(Enum):
@@ -92,6 +94,7 @@ class DistributedSeussCluster:
         self._in_flight: Dict[int, int] = {i: 0 for i in range(node_count)}
         self._rr = itertools.count()
         self.stats = ClusterStats()
+        self.routing_stats = RoutingStats()
         for node_id in range(node_count):
             node = SeussNode(env, config=config, costs=costs)
             node.initialize_sync()
@@ -102,17 +105,35 @@ class DistributedSeussCluster:
 
     # -- placement ------------------------------------------------------
     def _least_loaded(self, candidates: List[int]) -> int:
-        return min(candidates, key=lambda nid: (self._in_flight[nid], nid))
+        # Shared helper from the routing layer; the (load, id) key keeps
+        # the historical lowest-node-id tie break.
+        return pick_least_loaded(
+            candidates, lambda nid: (self._in_flight[nid], nid)
+        )
 
     def _pick_node(self, fn: FunctionSpec) -> int:
+        self.routing_stats.decisions += 1
         everyone = list(range(len(self.nodes)))
         if self.policy is SchedulingPolicy.ROUND_ROBIN:
             return next(self._rr) % len(self.nodes)
         if self.policy is SchedulingPolicy.SNAPSHOT_AFFINITY:
             holders = self.registry.holders(fn.key)
             if holders:
+                self._note_locality(hit=True)
                 return self._least_loaded(holders)
+            self._note_locality(hit=False)
         return self._least_loaded(everyone)
+
+    def _note_locality(self, hit: bool) -> None:
+        if hit:
+            self.routing_stats.locality_hits += 1
+        else:
+            self.routing_stats.locality_misses += 1
+        tracer = tracer_for(self.env)
+        if tracer.enabled:
+            tracer.counter(
+                "route.locality_hit" if hit else "route.locality_miss"
+            )
 
     # -- invocation ------------------------------------------------------
     def invoke(self, fn: FunctionSpec) -> Process:

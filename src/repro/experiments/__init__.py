@@ -34,6 +34,7 @@ __all__ = [
     "run_latency",
     "run_overload",
     "run_prefetch",
+    "run_scale",
     "run_sensitivity",
     "run_table1",
     "run_table2",
@@ -58,6 +59,7 @@ _LAZY = {
     "run_latency": "repro.experiments.latency",
     "run_prefetch": "repro.experiments.prefetch",
     "run_overload": "repro.experiments.overload",
+    "run_scale": "repro.experiments.scale",
 }
 
 #: Every module that registers specs, in display order (``all`` runs
@@ -76,6 +78,7 @@ EXPERIMENT_MODULES = (
     "repro.experiments.prefetch",
     "repro.experiments.chaos",
     "repro.experiments.overload",
+    "repro.experiments.scale",
 )
 
 

@@ -53,6 +53,8 @@ class FaasCluster:
         retries: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerPolicy] = None,
         overload: Optional[OverloadConfig] = None,
+        shards: int = 1,
+        routing: Optional[str] = None,
     ) -> None:
         self.env = env
         self.node = node
@@ -68,7 +70,43 @@ class FaasCluster:
         # a disabled (or omitted) config wires nothing.
         if overload is not None and not overload.enabled:
             overload = None
-        self.overload: Optional[OverloadControl] = (
+        self.overload: Optional[OverloadControl] = None
+        self.health: List[NodeHealth] = []
+        self.router: Optional[NodeRouter] = None
+        self.breaker_policy = breaker or BreakerPolicy()
+        if shards > 1 or routing is not None:
+            # Sharded control plane: every shard owns its own bus, shim
+            # connection, breakers, admission queues and retry budget.
+            # Imported lazily — the default wiring must not pull the
+            # distributed package into its import graph.
+            from repro.faas.sharding import ShardedControlPlane
+
+            self.control_plane: Optional[ShardedControlPlane] = (
+                ShardedControlPlane(
+                    env,
+                    [node],
+                    costs=costs,
+                    shards=shards,
+                    routing=routing or "round_robin",
+                    shim_factory=(
+                        (lambda _sid: ShimProcess(env, costs.platform))
+                        if shim is not None
+                        else None
+                    ),
+                    retries=retries,
+                    breaker=breaker,
+                    overload=overload,
+                    injector=self.fault_injector,
+                )
+            )
+            if self.fault_injector is not None and hasattr(node, "fault_injector"):
+                node.fault_injector = self.fault_injector
+            #: Shard 0's controller, for single-controller call sites;
+            #: aggregate counters live on ``control_plane``.
+            self.controller = self.control_plane.shards[0].controller
+            return
+        self.control_plane = None
+        self.overload = (
             OverloadControl(env, overload) if overload is not None else None
         )
         # Health tracking engages with any resilience knob; otherwise the
@@ -79,9 +117,7 @@ class FaasCluster:
             or breaker is not None
             or self.overload is not None
         )
-        self.breaker_policy = breaker or BreakerPolicy()
-        self.health: List[NodeHealth] = []
-        self.router: Optional[NodeRouter] = NodeRouter() if resilient else None
+        self.router = NodeRouter() if resilient else None
         if self.router is not None and self.overload is not None:
             if self.overload.config.queue_depth is not None:
                 # Queue depth is the backpressure signal: bursts drain
@@ -118,9 +154,14 @@ class FaasCluster:
     def add_node(self, node) -> None:
         """Join an initialized compute node to the routable pool.
 
-        Only meaningful on resilient clusters (a router must exist for
-        requests to reach any node beyond the first).
+        Only meaningful on sharded or resilient clusters (a router must
+        exist for requests to reach any node beyond the first).
         """
+        if self.control_plane is not None:
+            if self.fault_injector is not None and hasattr(node, "fault_injector"):
+                node.fault_injector = self.fault_injector
+            self.control_plane.add_node(node)
+            return
         if self.router is None:
             raise ValueError(
                 "add_node requires a resilient cluster (faults/retries/breaker)"
@@ -129,6 +170,8 @@ class FaasCluster:
 
     @property
     def nodes(self) -> list:
+        if self.control_plane is not None:
+            return list(self.control_plane.nodes)
         if self.health:
             return [health.node for health in self.health]
         return [self.node]
@@ -145,6 +188,8 @@ class FaasCluster:
         retries: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerPolicy] = None,
         overload: Optional[OverloadConfig] = None,
+        shards: int = 1,
+        routing: Optional[str] = None,
     ) -> "FaasCluster":
         """OpenWhisk with the SEUSS OS VM behind the shim process."""
         node = SeussNode(env, config=config, costs=costs)
@@ -160,6 +205,8 @@ class FaasCluster:
             retries=retries,
             breaker=breaker,
             overload=overload,
+            shards=shards,
+            routing=routing,
         )
 
     @classmethod
@@ -173,6 +220,8 @@ class FaasCluster:
         retries: Optional[RetryPolicy] = None,
         breaker: Optional[BreakerPolicy] = None,
         overload: Optional[OverloadConfig] = None,
+        shards: int = 1,
+        routing: Optional[str] = None,
     ) -> "FaasCluster":
         """Stock OpenWhisk: Linux + Docker compute node, no shim."""
         from repro.linuxnode.node import LinuxNode
@@ -189,6 +238,8 @@ class FaasCluster:
             retries=retries,
             breaker=breaker,
             overload=overload,
+            shards=shards,
+            routing=routing,
         )
 
     # -- client API ------------------------------------------------------
@@ -197,10 +248,12 @@ class FaasCluster:
 
     def invoke_by_key(self, key: str) -> Process:
         """Start a client invocation of a registered function."""
-        return self.env.process(self.controller.invoke(self.registry.get(key)))
+        return self.invoke(self.registry.get(key))
 
     def invoke(self, fn: FunctionSpec) -> Process:
         """Start a client invocation of ``fn`` directly."""
+        if self.control_plane is not None:
+            return self.control_plane.invoke(fn)
         return self.env.process(self.controller.invoke(fn))
 
     def invoke_sync(self, fn: FunctionSpec) -> InvocationResult:

@@ -181,6 +181,11 @@ class Controller:
         self.stats = ControllerStats()
         #: Audit log of scheduled retries (empty unless retries fire).
         self.retry_events: List[RetryEvent] = []
+        #: Set by :class:`~repro.faas.sharding.ShardedControlPlane` so
+        #: request spans carry their shard for critical-path
+        #: attribution; ``None`` on unsharded controllers (no span
+        #: attribute, historical traces unchanged).
+        self.shard_id: Optional[int] = None
 
     @property
     def pre_node_ms(self) -> float:
@@ -233,7 +238,7 @@ class Controller:
         health = None
         if self.router is not None:
             try:
-                health = self.router.select()
+                health = self.router.select(fn)
                 node = health.node
             except CircuitOpenError as exc:
                 self.stats.circuit_rejected += 1
@@ -360,6 +365,8 @@ class Controller:
             function=fn.key,
             request_id=request.request_id,
         )
+        if self.shard_id is not None:
+            root.annotate(shard=self.shard_id)
 
         try:
             # Namespace throttling happens at the gateway, before any work.

@@ -15,7 +15,9 @@ the reproduction's cluster:
 * :class:`NodeHealth` — a node plus its breaker plus an operator-driven
   ``draining`` flag (planned maintenance: stop routing, let in-flight
   work finish).
-* :class:`NodeRouter` — round-robin over the admittable nodes; raises
+* :class:`NodeRouter` — walks the admittable nodes in the order a
+  pluggable :class:`~repro.faas.routing.RoutingPolicy` ranks them
+  (round-robin by default, exactly the historical rotation); raises
   :class:`~repro.errors.CircuitOpenError` when every node is open or
   draining, which the controller converts into backoff-and-retry.
 
@@ -30,6 +32,13 @@ from enum import Enum
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import CircuitOpenError, ConfigError
+from repro.faas.routing import (
+    ROUND_ROBIN,
+    LeastLoadedPolicy,
+    RoundRobinPolicy,
+    RoutingPolicy,
+    RoutingStats,
+)
 from repro.sim import Environment
 
 
@@ -192,20 +201,31 @@ class NodeHealth:
 
 
 class NodeRouter:
-    """Round-robin over the nodes whose breakers admit traffic.
+    """Policy-ranked selection over the nodes whose breakers admit.
 
-    With a backpressure signal installed
-    (:meth:`prefer_least_loaded`), admittable nodes are tried in
-    ascending load order instead — the overload control plane feeds it
-    each node's admission-queue depth so bursts drain toward the least
-    congested node.  Ties keep the round-robin rotation, and without a
-    signal the routing is byte-identical to the historical round-robin.
+    The :class:`~repro.faas.routing.RoutingPolicy` orders the
+    candidates (fed to it in rotation order, so ties preserve the
+    round-robin balance); ``admit()`` stays the single
+    probe-slot-consuming gate, called in that order.  The default
+    round-robin policy takes a fast path that is byte-identical to the
+    historical rotation, and :meth:`prefer_least_loaded` installs the
+    historical backpressure mode (now a
+    :class:`~repro.faas.routing.LeastLoadedPolicy`).
     """
 
-    def __init__(self, healths: Optional[List[NodeHealth]] = None) -> None:
+    def __init__(
+        self,
+        healths: Optional[List[NodeHealth]] = None,
+        policy: Optional[RoutingPolicy] = None,
+        env: Optional[Environment] = None,
+    ) -> None:
         self._healths: List[NodeHealth] = list(healths or [])
         self._next = 0
-        self._load_of: Optional[Callable[[NodeHealth], float]] = None
+        self.policy: RoutingPolicy = policy or ROUND_ROBIN
+        #: Optional environment handle, only used to emit locality
+        #: tracer counters from affinity policies.
+        self.env = env
+        self.stats = RoutingStats()
 
     def add(self, health: NodeHealth) -> None:
         self._healths.append(health)
@@ -214,7 +234,7 @@ class NodeRouter:
         self, load_of: Callable[[NodeHealth], float]
     ) -> None:
         """Install a backpressure signal (e.g. admission-queue depth)."""
-        self._load_of = load_of
+        self.policy = LeastLoadedPolicy(load_of)
 
     @property
     def healths(self) -> List[NodeHealth]:
@@ -223,31 +243,41 @@ class NodeRouter:
     def __len__(self) -> int:
         return len(self._healths)
 
-    def select(self) -> NodeHealth:
-        """The next admittable node, rotating for balance.
+    def select(self, fn=None) -> NodeHealth:
+        """The next admittable node under the routing policy.
 
-        Raises :class:`CircuitOpenError` when no node can take the
-        request — the controller's cue to back off and retry rather
-        than queue onto a known-dead node.
+        ``fn`` (a :class:`~repro.faas.records.FunctionSpec`) lets
+        locality-aware policies see what is being routed; ``None``
+        keeps policies that ignore it fully functional.  Raises
+        :class:`CircuitOpenError` when no node can take the request —
+        the controller's cue to back off and retry rather than queue
+        onto a known-dead node.
         """
         if not self._healths:
             raise ConfigError("router has no nodes")
         count = len(self._healths)
-        offsets = range(count)
-        if self._load_of is not None:
-            # Try admittable nodes least-loaded first; admit() stays the
-            # single (probe-slot-consuming) gate, called in that order.
-            offsets = sorted(
-                offsets,
-                key=lambda offset: self._load_of(
-                    self._healths[(self._next + offset) % count]
-                ),
-            )
-        for offset in offsets:
-            health = self._healths[(self._next + offset) % count]
-            if health.admit():
-                self._next = (self._next + offset + 1) % count
-                return health
+        policy = self.policy
+        self.stats.decisions += 1
+        if type(policy) is RoundRobinPolicy:
+            # Fast path: the historical rotation, no list materialized.
+            for offset in range(count):
+                health = self._healths[(self._next + offset) % count]
+                if health.admit():
+                    self._next = (self._next + offset + 1) % count
+                    return health
+        else:
+            rotation = [
+                self._healths[(self._next + offset) % count]
+                for offset in range(count)
+            ]
+            offset_of = {id(health): o for o, health in enumerate(rotation)}
+            for health in policy.rank(rotation, fn):
+                if health.admit():
+                    self._next = (
+                        self._next + offset_of[id(health)] + 1
+                    ) % count
+                    policy.note_selected(health, fn, self.stats, env=self.env)
+                    return health
         raise CircuitOpenError(
             f"all {count} node(s) unavailable (circuit open or draining)"
         )

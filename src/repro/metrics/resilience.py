@@ -65,6 +65,16 @@ class ResilienceReport:
     bus_delayed: int = 0
     # Injected faults by kind (empty when no injector is installed).
     faults_injected: Dict[str, int] = field(default_factory=dict)
+    # Sharded control plane / routing (defaults describe the unsharded,
+    # round-robin wiring so historical reports are unchanged).
+    shards: int = 1
+    routing_policy: str = "round_robin"
+    route_decisions: int = 0
+    locality_hits: int = 0
+    locality_misses: int = 0
+    spills: int = 0
+    #: Requests each shard was handed by the hash ring.
+    shard_dispatch: Dict[int, int] = field(default_factory=dict)
 
     @property
     def success_rate(self) -> float:
@@ -72,6 +82,12 @@ class ResilienceReport:
         if self.received == 0:
             return 1.0
         return self.succeeded / self.received
+
+    @property
+    def locality_hit_rate(self) -> float:
+        """Affinity decisions landing on a node that held the state."""
+        total = self.locality_hits + self.locality_misses
+        return self.locality_hits / total if total else 0.0
 
     @property
     def wasted_work_fraction(self) -> float:
@@ -84,7 +100,12 @@ class ResilienceReport:
     @classmethod
     def from_cluster(cls, cluster) -> "ResilienceReport":
         """Collect from a :class:`~repro.faas.cluster.FaasCluster`."""
-        stats = cluster.controller.stats
+        plane = getattr(cluster, "control_plane", None)
+        stats = (
+            plane.controller_stats()
+            if plane is not None
+            else cluster.controller.stats
+        )
         report = cls(
             received=stats.received,
             succeeded=stats.succeeded,
@@ -100,24 +121,53 @@ class ResilienceReport:
         quota_stats = cluster.controller.quotas.stats
         report.quota_rate_rejections = quota_stats.rate_rejections
         report.quota_concurrency_rejections = quota_stats.concurrency_rejections
-        overload = getattr(cluster, "overload", None)
-        if overload is not None:
-            report.shed = overload.stats.shed
-            report.retry_budget_denied = overload.stats.retry_budget_denied
+        if plane is not None:
+            # Sharded wiring: overloads, buses and breakers are owned
+            # per shard; fold every shard's copy into the report.
+            for shard in plane.shards:
+                if shard.overload is not None:
+                    report.shed += shard.overload.stats.shed
+                    report.retry_budget_denied += (
+                        shard.overload.stats.retry_budget_denied
+                    )
+                for topic_stats in shard.controller.bus.stats.values():
+                    report.bus_dropped += topic_stats.dropped
+                    report.bus_delayed += topic_stats.delayed
+            routing = plane.routing_stats()
+            report.shards = plane.shard_count
+            report.routing_policy = plane.routing_policy_name
+            report.route_decisions = routing.decisions
+            report.locality_hits = routing.locality_hits
+            report.locality_misses = routing.locality_misses
+            report.spills = routing.spills
+            report.shard_dispatch = plane.dispatch_counts()
+            healths = plane.healths()
+        else:
+            overload = getattr(cluster, "overload", None)
+            if overload is not None:
+                report.shed = overload.stats.shed
+                report.retry_budget_denied = overload.stats.retry_budget_denied
+            for topic_stats in cluster.bus.stats.values():
+                report.bus_dropped += topic_stats.dropped
+                report.bus_delayed += topic_stats.delayed
+            healths = getattr(cluster, "health", [])
         for node in getattr(cluster, "nodes", []):
             report.cancelled += getattr(node, "cancelled_count", 0)
             report.zombies += getattr(node, "zombie_count", 0)
             report.useful_ms += getattr(node, "useful_ms", 0.0)
             report.wasted_ms += getattr(node, "wasted_ms", 0.0)
-        for topic_stats in cluster.bus.stats.values():
-            report.bus_dropped += topic_stats.dropped
-            report.bus_delayed += topic_stats.delayed
-        for health in getattr(cluster, "health", []):
+        seen_nodes = set()
+        for health in healths:
             node = health.node
-            report.node_crashes += getattr(node, "crash_count", 0)
-            report.node_restarts += getattr(node, "restart_count", 0)
             report.breaker_opens += health.breaker.stats.opens
             report.breaker_closes += health.breaker.stats.closes
+            if id(node) in seen_nodes:
+                # Sharded planes wrap each node once per shard; count
+                # node-side state (crashes, quarantines) once per node.
+                continue
+            seen_nodes.add(id(node))
+            report.node_crashes += getattr(node, "crash_count", 0)
+            report.node_restarts += getattr(node, "restart_count", 0)
             cache = getattr(node, "snapshot_cache", None)
             if cache is not None:
                 report.snapshots_quarantined += cache.stats.quarantined
@@ -178,4 +228,23 @@ class ResilienceReport:
                 if count
             )
             out.append(f"faults injected: {fired or 'none'}")
+        # Sharding / affinity rows appear only when that plane is in
+        # play (same pattern as the quota row above): a default 1-shard
+        # round-robin cluster prints the historical block verbatim.
+        if self.shards > 1 or self.shard_dispatch:
+            spread = ", ".join(
+                f"s{shard_id}={count}"
+                for shard_id, count in sorted(self.shard_dispatch.items())
+            )
+            out.append(
+                f"shards: {self.shards} ({self.routing_policy}), "
+                f"dispatch {spread or 'none'}"
+            )
+        if self.locality_hits or self.locality_misses:
+            out.append(
+                f"locality: {self.locality_hits} hits, "
+                f"{self.locality_misses} misses "
+                f"({self.locality_hit_rate:.1%} hit rate, "
+                f"{self.spills} spills)"
+            )
         return out
