@@ -1,6 +1,6 @@
 # Development entry points.
 
-.PHONY: install test bench perfgate chaos overload scale repro repro-quick trace examples clean
+.PHONY: install test bench perfgate chaos overload scale density repro repro-quick trace examples clean
 
 install:
 	pip install -e .
@@ -38,6 +38,11 @@ overload:
 scale:
 	pytest tests/ -m scale
 	python -m repro.experiments.runner scale --quick
+
+# Page-dedup acceptance suite + density experiment (deterministic).
+density:
+	pytest tests/ -m density
+	python -m repro.experiments.runner density --quick
 
 # Regenerate every paper table/figure (EXPERIMENTS.md's numbers).
 repro:

@@ -270,6 +270,47 @@ def bench_routing_decision() -> Tuple[int, float]:
     return rounds * len(probes), elapsed
 
 
+def bench_page_dedup() -> Tuple[int, float]:
+    """Refcount churn on the shared-frame table: the per-chunk cost of
+    capture-time dedup (retain on snapshot, release on evict) plus the
+    scanner's merge/CoW-unmerge traffic.  One op is one table call.
+    """
+    from repro.mem.dedup import SharedFrameTable
+    from repro.mem.frames import FrameAllocator
+
+    rng = random.Random(13)
+    content_ids = [f"chunk:{i}" for i in range(256)]
+    # A deterministic op tape, built outside the timed loop.
+    tape = []
+    for _ in range(4000):
+        tape.append((rng.random(), rng.choice(content_ids)))
+    rounds = 15
+    ops = 0
+    started = time.perf_counter()
+    for _ in range(rounds):
+        allocator = FrameAllocator(4_000_000)
+        table = SharedFrameTable(allocator)
+        for roll, content_id in tape:
+            if roll < 0.40:
+                table.retain(content_id, 8)
+            elif roll < 0.65:
+                if content_id in table:
+                    table.release(content_id)
+                else:
+                    table.retain(content_id, 8)
+            elif roll < 0.85:
+                allocator.allocate(8, "private")
+                table.merge(content_id, 8, "private")
+            else:
+                if content_id in table:
+                    table.unmerge(content_id, "private")
+                else:
+                    table.retain(content_id, 8)
+        ops += len(tape)
+    elapsed = time.perf_counter() - started
+    return ops, elapsed
+
+
 def bench_event_loop() -> Tuple[int, float]:
     """Timeout-heavy process churn: raw engine events per second."""
     from repro.sim import Environment
@@ -302,6 +343,7 @@ BENCHMARKS: Dict[str, Tuple[Callable[[], Tuple[int, float]], str]] = {
     "batched_fault_resolve": (bench_batched_fault_resolve, "pages"),
     "snapshot_churn": (bench_snapshot_churn, "cycles"),
     "routing_decision": (bench_routing_decision, "decisions"),
+    "page_dedup": (bench_page_dedup, "table ops"),
     "event_loop": (bench_event_loop, "events"),
 }
 

@@ -171,12 +171,31 @@ class DistributedSeussCluster:
                         # RECORDED strategy sizes its upfront set from it,
                         # and the destination can prefetch locally.
                         manifest = self.nodes[src].working_sets.get(fn.key)
+                        # Pages already resident at the destination via
+                        # its dedup frame table merge on arrival and
+                        # skip the wire entirely.
+                        resident_fraction = 0.0
+                        if (
+                            node.dedup is not None
+                            and node.dedup.capture_enabled
+                        ):
+                            namespace = node.dedup.namespace(
+                                fn.key, fn.runtime
+                            )
+                            if namespace is not None:
+                                resident_fraction = (
+                                    node.dedup.resident_fraction(
+                                        namespace,
+                                        source_snapshot.page_count,
+                                    )
+                                )
                         plan = yield from self.interconnect.transfer(
                             src,
                             node_id,
                             source_snapshot.size_mb,
                             self.strategy,
                             manifest=manifest,
+                            resident_fraction=resident_fraction,
                         )
                         node.install_snapshot(fn.key, source_snapshot.pages)
                         if manifest is not None:

@@ -75,6 +75,15 @@ class TransferPlan:
     upfront_ms: float
     background_ms: float
     residual_penalty_ms: float
+    #: Diff content already resident at the destination (its dedup
+    #: frame table holds identical pages) — merged on arrival, never
+    #: shipped.  0 without a dedup domain.
+    resident_mb: float = 0.0
+
+    @property
+    def shipped_mb(self) -> float:
+        """Bytes that actually crossed the wire."""
+        return self.size_mb - self.resident_mb
 
     @property
     def deploy_delay_ms(self) -> float:
@@ -127,6 +136,7 @@ class ClusterInterconnect:
         size_mb: float,
         strategy: TransferStrategy,
         manifest: Optional[WorkingSetManifest] = None,
+        resident_fraction: float = 0.0,
     ) -> TransferPlan:
         return transfer_plan(
             size_mb,
@@ -134,6 +144,7 @@ class ClusterInterconnect:
             ms_per_mb=self.ms_per_mb,
             latency_ms=self.latency_ms,
             manifest=manifest,
+            resident_fraction=resident_fraction,
         )
 
     def transfer(
@@ -143,6 +154,7 @@ class ClusterInterconnect:
         size_mb: float,
         strategy: TransferStrategy,
         manifest: Optional[WorkingSetManifest] = None,
+        resident_fraction: float = 0.0,
     ) -> Generator:
         """Sim process: move a snapshot diff; returns the TransferPlan.
 
@@ -152,7 +164,12 @@ class ClusterInterconnect:
         """
         if src == dst:
             raise ConfigError("source and destination nodes are the same")
-        plan = self.plan(size_mb, strategy, manifest=manifest)
+        plan = self.plan(
+            size_mb,
+            strategy,
+            manifest=manifest,
+            resident_fraction=resident_fraction,
+        )
         src_nic = self._nics[src].request()
         dst_nic = self._nics[dst].request()
         yield self.env.all_of([src_nic, dst_nic])
@@ -176,7 +193,7 @@ class ClusterInterconnect:
             self._nics[dst].release(dst_nic)
             raise
         self.stats.transfers += 1
-        self.stats.mb_moved += size_mb
+        self.stats.mb_moved += plan.shipped_mb
         self.stats.busy_ms += plan.total_wire_ms
         return plan
 
@@ -187,6 +204,7 @@ def transfer_plan(
     ms_per_mb: float = ClusterInterconnect.DEFAULT_MS_PER_MB,
     latency_ms: float = ClusterInterconnect.DEFAULT_LATENCY_MS,
     manifest: Optional[WorkingSetManifest] = None,
+    resident_fraction: float = 0.0,
 ) -> TransferPlan:
     """Compute the time decomposition of one transfer.
 
@@ -195,11 +213,21 @@ def transfer_plan(
     the residual penalty scales :data:`REMOTE_MISS_PENALTY_MS` by the
     manifest's observed miss rate.  Every other strategy — and RECORDED
     with nothing recorded yet — uses the enum's constants.
+
+    ``resident_fraction`` is the part of the diff already resident at
+    the destination via its dedup frame table: those pages merge on
+    arrival for free and never cross the wire, shrinking both the
+    upfront and background portions proportionally.
     """
     if size_mb < 0:
         raise ConfigError(f"negative transfer size {size_mb}")
+    if not 0.0 <= resident_fraction <= 1.0:
+        raise ConfigError(
+            f"resident_fraction {resident_fraction} not in [0, 1]"
+        )
     fraction = strategy.upfront_fraction
     residual = strategy.residual_fault_penalty_ms
+    shipped_mb = size_mb * (1.0 - resident_fraction)
     if (
         strategy is TransferStrategy.RECORDED
         and manifest is not None
@@ -211,7 +239,7 @@ def transfer_plan(
     if size_mb == 0:
         # A zero-size diff leaves nothing behind to fault remotely.
         residual = 0.0
-    wire_ms = size_mb * ms_per_mb
+    wire_ms = shipped_mb * ms_per_mb
     upfront = latency_ms + wire_ms * fraction
     background = wire_ms * (1.0 - fraction)
     return TransferPlan(
@@ -220,4 +248,5 @@ def transfer_plan(
         upfront_ms=upfront,
         background_ms=background,
         residual_penalty_ms=residual,
+        resident_mb=size_mb - shipped_mb,
     )

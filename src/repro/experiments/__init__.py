@@ -24,6 +24,7 @@ __all__ = [
     "run_ablations",
     "run_autoao",
     "run_codesize",
+    "run_density",
     "run_distributed",
     "run_figure4",
     "run_figure5",
@@ -60,6 +61,7 @@ _LAZY = {
     "run_prefetch": "repro.experiments.prefetch",
     "run_overload": "repro.experiments.overload",
     "run_scale": "repro.experiments.scale",
+    "run_density": "repro.experiments.density",
 }
 
 #: Every module that registers specs, in display order (``all`` runs
@@ -79,6 +81,7 @@ EXPERIMENT_MODULES = (
     "repro.experiments.chaos",
     "repro.experiments.overload",
     "repro.experiments.scale",
+    "repro.experiments.density",
 )
 
 

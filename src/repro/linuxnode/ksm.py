@@ -8,49 +8,36 @@ merging across tenants is a known deduplication side channel, which
 SEUSS avoids because its sharing is established at snapshot time and
 confined to a function's own lineage (§5).
 
-:class:`KsmDaemon` models both properties: a background scanner that
-frees duplicate container pages at ``scan_rate_pages_per_s``, capped by
-the duplicate fraction actually present, and an explicit
-``retroactive_sharing`` marker the security comparison keys on.
+:class:`KsmDaemon` is now a thin adapter over the shared retroactive
+scanner in :mod:`repro.mem.dedup` (:class:`~repro.mem.dedup.PageScanner`
+— the same machinery the snapshot-dedup domain uses), specialized with
+KSM's whole-container defaults: a 0.62 duplicate fraction (interpreter
+text, stdlib, base layers shared across instances of one image) and
+ksmd's conservative ~25k pages/s throttle, over the Linux node's
+``container`` memory category.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Generator
-
-from repro.errors import ConfigError
+from repro.mem.dedup import (  # noqa: F401  (re-exported compat surface)
+    DEFAULT_SCAN_RATE_PAGES_PER_S,
+    SCAN_INTERVAL_MS,
+    PageScanner,
+    ScanStats,
+)
 from repro.mem.frames import FrameAllocator
 from repro.sim import Environment
-from repro.units import pages_to_mb
 
 #: Fraction of per-container memory that is byte-identical across
 #: instances of the same image (interpreter text, stdlib, base layers).
 DEFAULT_DUPLICATE_FRACTION = 0.62
 
-#: ksmd's default throttle is deliberately conservative (it burns CPU
-#: and memory bandwidth); ~25k pages/s ~= 100 MB/s of scanning.
-DEFAULT_SCAN_RATE_PAGES_PER_S = 25_000
-
-#: Scan wake-up period.
-SCAN_INTERVAL_MS = 200.0
+#: Backwards-compatible name for the scanner's stats record.
+KsmStats = ScanStats
 
 
-@dataclass
-class KsmStats:
-    scans: int = 0
-    merged_pages: int = 0
-
-    @property
-    def merged_mb(self) -> float:
-        return pages_to_mb(self.merged_pages)
-
-
-class KsmDaemon:
+class KsmDaemon(PageScanner):
     """Retroactive page dedup over the ``container`` memory category."""
-
-    #: KSM's defining (and security-relevant) property.
-    retroactive_sharing = True
 
     def __init__(
         self,
@@ -60,71 +47,10 @@ class KsmDaemon:
         scan_rate_pages_per_s: float = DEFAULT_SCAN_RATE_PAGES_PER_S,
         category: str = "container",
     ) -> None:
-        if not 0.0 <= duplicate_fraction < 1.0:
-            raise ConfigError(f"duplicate_fraction {duplicate_fraction} not in [0,1)")
-        if scan_rate_pages_per_s <= 0:
-            raise ConfigError("scan_rate_pages_per_s must be positive")
-        self.env = env
-        self.allocator = allocator
-        self.duplicate_fraction = duplicate_fraction
-        self.scan_rate_pages_per_s = scan_rate_pages_per_s
-        self.category = category
-        self.stats = KsmStats()
-        self._running = False
-
-    # -- the merge arithmetic ------------------------------------------------
-    def mergeable_pages(self) -> int:
-        """Duplicate pages currently resident and not yet merged.
-
-        Resident category pages exclude already-merged ones (merging
-        freed them), so the duplicate pool is computed against the
-        *original* footprint: resident + merged.
-        """
-        resident = self.allocator.category_pages(self.category)
-        original = resident + self.stats.merged_pages
-        duplicates = int(original * self.duplicate_fraction)
-        return max(0, duplicates - self.stats.merged_pages)
-
-    def merge(self, limit: int) -> int:
-        """Merge up to ``limit`` duplicate pages; returns pages freed."""
-        to_merge = min(limit, self.mergeable_pages())
-        if to_merge <= 0:
-            return 0
-        self.allocator.free(to_merge, self.category)
-        self.stats.merged_pages += to_merge
-        return to_merge
-
-    def unmerge(self, pages: int) -> None:
-        """Account for merged pages whose owners were destroyed."""
-        self.stats.merged_pages = max(0, self.stats.merged_pages - pages)
-
-    # -- the daemon --------------------------------------------------------
-    @property
-    def running(self) -> bool:
-        return self._running
-
-    def start(self) -> None:
-        if self._running:
-            return
-        self._running = True
-        self.env.process(self._scan_loop())
-
-    def stop(self) -> None:
-        self._running = False
-
-    def _scan_loop(self) -> Generator:
-        per_interval = int(
-            self.scan_rate_pages_per_s * SCAN_INTERVAL_MS / 1000.0
+        super().__init__(
+            env,
+            allocator,
+            duplicate_fraction=duplicate_fraction,
+            scan_rate_pages_per_s=scan_rate_pages_per_s,
+            category=category,
         )
-        while self._running:
-            yield self.env.timeout(SCAN_INTERVAL_MS)
-            self.stats.scans += 1
-            self.merge(per_interval)
-
-    def effective_density_gain(self) -> float:
-        """How much denser merged instances sit vs. unmerged ones."""
-        resident = self.allocator.category_pages(self.category)
-        original = resident + self.stats.merged_pages
-        if resident == 0:
-            return 1.0
-        return original / resident

@@ -103,10 +103,12 @@ class AddressSpace:
         allocator: FrameAllocator,
         base: Optional[Snapshot] = None,
         name: str = "uc",
+        dedup=None,
     ) -> None:
         self.name = name
         self._allocator = allocator
         self._base = base
+        self._dedup = dedup
         self._private = IntervalSet()
         self._dirty = IntervalSet()
         self._destroyed = False
@@ -347,7 +349,11 @@ class AddressSpace:
 
     # -- snapshotting ----------------------------------------------------
     def capture_snapshot(
-        self, name: str, cpu: Optional[CpuState] = None, flatten: bool = False
+        self,
+        name: str,
+        cpu: Optional[CpuState] = None,
+        flatten: bool = False,
+        content_namespace: Optional[str] = None,
     ) -> Snapshot:
         """Capture the dirty pages as a new immutable snapshot.
 
@@ -371,6 +377,8 @@ class AddressSpace:
                 allocator=self._allocator,
                 parent=None,
                 cpu=cpu,
+                dedup=self._dedup,
+                content_namespace=content_namespace,
             )
         else:
             snapshot = Snapshot(
@@ -379,6 +387,8 @@ class AddressSpace:
                 allocator=self._allocator,
                 parent=self._base,
                 cpu=cpu,
+                dedup=self._dedup,
+                content_namespace=content_namespace,
             )
         if self._base is not None:
             self._base.release()

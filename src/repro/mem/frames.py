@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import OutOfMemoryError
+from repro.trace import current as _active_tracer
 from repro.units import pages_to_mb
 
 
@@ -103,10 +104,28 @@ class FrameAllocator:
         self._reclaim_hooks.append(hook)
 
     def _run_reclaim(self, needed_pages: int) -> None:
+        # Pressure observability lives here (not on the allocate/free
+        # hot path): reclaim is rare, so traces can afford an instant
+        # event plus per-category gauges attributing the stall.
+        tracer = _active_tracer()
+        free_before = self.free_pages
+        if tracer.enabled:
+            tracer.event(
+                "mem.pressure",
+                needed_pages=needed_pages,
+                free_pages=free_before,
+                allocated_pages=self._allocated,
+            )
+            for category, pages in sorted(self._by_category.items()):
+                tracer.gauge(f"mem.allocated.{category}", pages)
         for hook in self._reclaim_hooks:
             if self.free_pages >= needed_pages:
-                return
+                break
             hook(needed_pages - self.free_pages)
+        if tracer.enabled:
+            reclaimed = self.free_pages - free_before
+            if reclaimed > 0:
+                tracer.counter("mem.reclaimed_pages", reclaimed)
 
     # -- allocation ------------------------------------------------------
     def allocate(self, pages: int, category: str = "anonymous") -> int:

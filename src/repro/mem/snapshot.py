@@ -72,6 +72,8 @@ class Snapshot:
         allocator: FrameAllocator,
         parent: Optional["Snapshot"] = None,
         cpu: Optional[CpuState] = None,
+        dedup=None,
+        content_namespace: Optional[str] = None,
     ) -> None:
         self.name = name
         self.parent = parent
@@ -95,7 +97,28 @@ class Snapshot:
         self._checksum_memo: Optional[Tuple[int, int]] = None
         # Cloning the dirty pages into snapshot-owned frames is the
         # capture step; the frames are held until the snapshot is deleted.
-        allocator.allocate(self._pages.page_count, SNAPSHOT_CATEGORY)
+        # With a dedup domain attached, the duplicate-content region
+        # routes through the refcounted SharedFrameTable instead: only
+        # first-holder chunks claim frames, everything else merges free.
+        self._dedup = dedup
+        self._chunk_ids: Tuple[str, ...] = ()
+        self._shared_pages = 0
+        newly_shared = 0
+        if (
+            dedup is not None
+            and dedup.capture_enabled
+            and content_namespace is not None
+        ):
+            chunk_ids, shared, newly_shared = dedup.capture_chunks(
+                content_namespace, self._pages.page_count
+            )
+            self._chunk_ids = tuple(chunk_ids)
+            self._shared_pages = shared
+            allocator.allocate(
+                self._pages.page_count - shared, SNAPSHOT_CATEGORY
+            )
+        else:
+            allocator.allocate(self._pages.page_count, SNAPSHOT_CATEGORY)
         if parent is not None:
             parent.retain()
         # "Upon snapshotting, the complete page table structure is
@@ -104,6 +127,15 @@ class Snapshot:
 
         self._page_table_pages = page_table_pages_for(self.stack_page_count())
         allocator.allocate(self._page_table_pages, SNAPSHOT_CATEGORY)
+        # Frames this snapshot actually claimed from the pool — equals
+        # footprint_pages without dedup, less for later holders whose
+        # duplicate chunks merged into already-resident frames.
+        self._charged_pages = (
+            self._pages.page_count
+            - self._shared_pages
+            + newly_shared
+            + self._page_table_pages
+        )
         tracer = _active_tracer()
         if tracer.enabled:
             tracer.event(
@@ -113,7 +145,7 @@ class Snapshot:
                 page_table_pages=self._page_table_pages,
                 depth=self.depth,
             )
-            tracer.counter("mem.snapshot_pages_held", self.footprint_pages)
+            tracer.counter("mem.snapshot_pages_held", self._charged_pages)
 
     # -- introspection ---------------------------------------------------
     @property
@@ -142,6 +174,21 @@ class Snapshot:
     @property
     def footprint_mb(self) -> float:
         return pages_to_mb(self.footprint_pages)
+
+    @property
+    def charged_pages(self) -> int:
+        """Frames this snapshot newly claimed at capture.
+
+        Equal to :attr:`footprint_pages` unless a dedup domain merged
+        part of the capture into already-shared frames; cache budget
+        accounting charges this so shared frames count once.
+        """
+        return self._charged_pages
+
+    @property
+    def shared_pages(self) -> int:
+        """Pages routed through the dedup domain's shared frame table."""
+        return self._shared_pages
 
     @property
     def refcount(self) -> int:
@@ -291,11 +338,14 @@ class Snapshot:
         if self._refs == 0 and self._orphan and not self._deleted:
             self.delete()
 
-    def delete(self) -> None:
-        """Free the snapshot's frames.
+    def delete(self) -> int:
+        """Free the snapshot's frames; returns pages actually freed.
 
         Only legal when nothing depends on it; the prototype only ever
-        deletes function-specific snapshots with no active UCs.
+        deletes function-specific snapshots with no active UCs.  The
+        return value equals :attr:`footprint_pages` without dedup;
+        with dedup, shared chunks only free at refcount zero, so a
+        holder whose chunks are still referenced frees less.
         """
         if self._deleted:
             raise SnapshotError(f"double delete of snapshot {self.name!r}")
@@ -303,17 +353,29 @@ class Snapshot:
             raise SnapshotError(
                 f"snapshot {self.name!r} still has {self._refs} dependents"
             )
-        self._allocator.free(
-            self._pages.page_count + self._page_table_pages, SNAPSHOT_CATEGORY
+        private = (
+            self._pages.page_count
+            - self._shared_pages
+            + self._page_table_pages
         )
+        if self._dedup is not None:
+            # A retroactive scanner may have merged snapshot-category
+            # frames out from under us; un-merge the shortfall first so
+            # the category free below cannot underflow.
+            self._dedup.before_snapshot_free(private)
+        self._allocator.free(private, SNAPSHOT_CATEGORY)
+        freed = private
+        if self._chunk_ids:
+            freed += self._dedup.release_chunks(self._chunk_ids)
         self._deleted = True
         tracer = _active_tracer()
         if tracer.enabled:
             tracer.event("snapshot.delete", snapshot=self.name)
-            tracer.counter("mem.snapshot_pages_held", -self.footprint_pages)
+            tracer.counter("mem.snapshot_pages_held", -freed)
         if self.parent is not None:
             self.parent.release()
             self.parent = None
+        return freed
 
     def __repr__(self) -> str:
         return (

@@ -75,6 +75,11 @@ class ResilienceReport:
     spills: int = 0
     #: Requests each shard was handed by the hash ring.
     shard_dispatch: Dict[int, int] = field(default_factory=dict)
+    # Page dedup (all zero with dedup off — the default).
+    dedup_merged_pages: int = 0
+    dedup_unmerged_pages: int = 0
+    dedup_saved_pages: int = 0
+    dedup_scan_ms: float = 0.0
 
     @property
     def success_rate(self) -> float:
@@ -171,6 +176,22 @@ class ResilienceReport:
             cache = getattr(node, "snapshot_cache", None)
             if cache is not None:
                 report.snapshots_quarantined += cache.stats.quarantined
+        # Dedup domains hang off nodes, which are reachable via
+        # ``cluster.nodes`` even when no health view is wired (the
+        # default cluster) and via healths when only those exist;
+        # count each node's domain once.
+        dedup_nodes = {}
+        for node in getattr(cluster, "nodes", []):
+            dedup_nodes[id(node)] = node
+        for health in healths:
+            dedup_nodes.setdefault(id(health.node), health.node)
+        for node in dedup_nodes.values():
+            dedup = getattr(node, "dedup", None)
+            if dedup is not None:
+                report.dedup_merged_pages += dedup.merged_pages
+                report.dedup_unmerged_pages += dedup.unmerged_pages
+                report.dedup_saved_pages += dedup.saved_pages
+                report.dedup_scan_ms += dedup.scan_ms
         injector = getattr(cluster, "fault_injector", None)
         if injector is not None:
             report.faults_injected = injector.stats.as_dict()
@@ -246,5 +267,18 @@ class ResilienceReport:
                 f"{self.locality_misses} misses "
                 f"({self.locality_hit_rate:.1%} hit rate, "
                 f"{self.spills} spills)"
+            )
+        # Dedup row appears only when a dedup domain acted (default-off
+        # clusters print the historical block verbatim).
+        if (
+            self.dedup_merged_pages
+            or self.dedup_unmerged_pages
+            or self.dedup_scan_ms
+        ):
+            out.append(
+                f"dedup: {self.dedup_merged_pages} pages merged, "
+                f"{self.dedup_unmerged_pages} unmerged, "
+                f"{self.dedup_saved_pages} held savings, "
+                f"{self.dedup_scan_ms:.0f} ms scanned"
             )
         return out

@@ -62,6 +62,26 @@ class SeussConfig:
     #: Opt-in: with this off, deploys take serial demand faults exactly
     #: as before and every experiment table is unchanged.
     prefetch_working_sets: bool = False
+    #: Capture-time content-addressed page dedup across function
+    #: snapshots (``mem/dedup.py``): duplicate-content regions route
+    #: through a refcounted shared frame table scoped by
+    #: ``dedup_scope``.  Opt-in: with this off, captures allocate
+    #: exactly as before and every experiment table is unchanged.
+    page_dedup: bool = False
+    #: Merge scope: "lineage" (a function's own snapshots only, SEUSS
+    #: §5 confinement), "tenant" (one owner's functions per runtime —
+    #: safe default), or "global" (cross-tenant, the KSM side channel
+    #: the security audit flags).
+    dedup_scope: str = "tenant"
+    #: Fraction of a function snapshot's pages that are byte-identical
+    #: across snapshots in the same scope (compiled stdlib, interpreter
+    #: heap shapes).
+    dedup_duplicate_fraction: float = 0.55
+    #: Run a retroactive KSM-style scanner over the snapshot category
+    #: (merges arrive over time at ``dedup_scan_rate_pages_per_s`` with
+    #: the scan cost charged on the sim clock).  Opt-in.
+    dedup_scanner: bool = False
+    dedup_scan_rate_pages_per_s: float = 25_000.0
 
     def __post_init__(self) -> None:
         if self.memory_gb <= 0:
@@ -74,3 +94,15 @@ class SeussConfig:
             raise ConfigError("memory budgets must be non-negative")
         if self.idle_ucs_per_function < 1:
             raise ConfigError("idle_ucs_per_function must be >= 1")
+        if self.dedup_scope not in ("lineage", "tenant", "global"):
+            raise ConfigError(
+                f"dedup_scope must be lineage|tenant|global, "
+                f"got {self.dedup_scope!r}"
+            )
+        if not 0.0 <= self.dedup_duplicate_fraction < 1.0:
+            raise ConfigError(
+                f"dedup_duplicate_fraction must be in [0, 1), "
+                f"got {self.dedup_duplicate_fraction}"
+            )
+        if self.dedup_scan_rate_pages_per_s <= 0:
+            raise ConfigError("dedup_scan_rate_pages_per_s must be positive")

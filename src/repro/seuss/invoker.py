@@ -179,7 +179,10 @@ def invoke_on_node(
                 base = fn_snapshot if path is InvocationPath.WARM else runtime_record.snapshot
                 try:
                     uc = UnikernelContext(
-                        node.allocator, runtime_record.runtime, base=base
+                        node.allocator,
+                        runtime_record.runtime,
+                        base=base,
+                        dedup=node.dedup,
                     )
                 except OutOfMemoryError as exc:
                     node.stats.errors += 1
@@ -274,6 +277,11 @@ def invoke_on_node(
                         f"fn:{fn.key}",
                         trigger_label="code_compiled",
                         flatten=not node.config.snapshot_stacks,
+                        content_namespace=(
+                            node.dedup.namespace(fn.key, fn.runtime)
+                            if node.dedup is not None
+                            else None
+                        ),
                     )
                     captured = snapshot
                     yield env.timeout(

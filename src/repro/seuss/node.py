@@ -80,6 +80,27 @@ class SeussNode:
         )
         # The trivial OOM daemon: reclaim idle UCs under pressure (§6).
         self.allocator.add_reclaim_hook(self.uc_cache.reclaim_pages)
+        #: Content-addressed page dedup (``mem/dedup.py``); ``None``
+        #: unless the config opts in, keeping the default node's
+        #: capture path untouched.
+        self.dedup = None
+        if self.config.page_dedup or self.config.dedup_scanner:
+            from repro.mem.dedup import DedupConfig, DedupDomain
+
+            self.dedup = DedupDomain(
+                self.allocator,
+                DedupConfig(
+                    capture=self.config.page_dedup,
+                    scope=self.config.dedup_scope,
+                    duplicate_fraction=self.config.dedup_duplicate_fraction,
+                    scanner=self.config.dedup_scanner,
+                    scan_rate_pages_per_s=(
+                        self.config.dedup_scan_rate_pages_per_s
+                    ),
+                ),
+                env=env,
+            )
+            self.dedup.start_scanner()
         #: Recorded first-invocation working sets, keyed like snapshots
         #: (``runtime:<name>`` for the cold path, ``fn.key`` for warm).
         self.working_sets = WorkingSetRegistry()
@@ -132,7 +153,10 @@ class SeussNode:
                 )
                 runtime = get_runtime(name)
                 boot_uc = UnikernelContext(
-                    self.allocator, runtime, name=f"boot-{name}"
+                    self.allocator,
+                    runtime,
+                    name=f"boot-{name}",
+                    dedup=self.dedup,
                 )
                 boot = boot_stages(runtime, self.costs.seuss)
                 rt_span.done("boot", self.env.now, self.env.now + boot.total_ms)
@@ -150,7 +174,11 @@ class SeussNode:
                     )
                     yield self.env.timeout(ao_report.time_spent_ms)
                 snapshot = boot_uc.capture_snapshot(
-                    f"runtime:{name}", trigger_label="driver_started"
+                    f"runtime:{name}",
+                    trigger_label="driver_started",
+                    content_namespace=(
+                        f"runtime:{name}" if self.dedup is not None else None
+                    ),
                 )
                 capture_ms = self.costs.seuss.snapshot_capture_ms(
                     snapshot.size_mb
@@ -302,7 +330,10 @@ class SeussNode:
         yield core
         try:
             uc = UnikernelContext(
-                self.allocator, record.runtime, base=record.snapshot
+                self.allocator,
+                record.runtime,
+                base=record.snapshot,
+                dedup=self.dedup,
             )
             yield self.env.timeout(self.costs.seuss.uc_create_ms)
             uc.start_listening()
@@ -331,6 +362,12 @@ class SeussNode:
             allocator=self.allocator,
             parent=record.snapshot,
             cpu=CpuState(trigger_label="replica_installed"),
+            dedup=self.dedup,
+            content_namespace=(
+                self.dedup.namespace(fn_key, runtime_name)
+                if self.dedup is not None
+                else None
+            ),
         )
         if not self.snapshot_cache.put(fn_key, snapshot):
             snapshot.delete()  # raced with a local cold start

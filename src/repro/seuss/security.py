@@ -58,6 +58,71 @@ def interface_comparison() -> Tuple[IsolationProfile, IsolationProfile]:
     return SEUSS_PROFILE, DOCKER_PROFILE
 
 
+@dataclass(frozen=True)
+class DedupAudit:
+    """Security verdict on one page-dedup policy (§5).
+
+    The known dedup side channel needs two ingredients: pages merged
+    *across trust domains* and an attacker-observable signal (CoW
+    write-fault latency, or merge-arrival timing under a retroactive
+    scanner).  Lineage- and tenant-scoped merging never crosses a
+    trust boundary, so the channel does not exist there — exactly the
+    paper's argument for confining sharing to a function's own lineage.
+    """
+
+    scope: str
+    retroactive: bool
+    cross_tenant: bool
+    side_channel: bool
+    rationale: str
+
+
+def audit_dedup(scope: str, retroactive: bool = False) -> DedupAudit:
+    """Audit a dedup configuration for the §5 side channel.
+
+    ``scope`` is one of ``lineage`` / ``tenant`` / ``global`` (the
+    :mod:`repro.mem.dedup` merge scopes).  Only global, cross-tenant
+    merging flags the side channel; ``retroactive`` additionally marks
+    the KSM-style timing signal (merge arrival is observable), which is
+    noted in the rationale but is only exploitable across tenants.
+    """
+    if scope not in ("lineage", "tenant", "global"):
+        raise ValueError(
+            f"scope must be lineage|tenant|global, got {scope!r}"
+        )
+    cross_tenant = scope == "global"
+    if cross_tenant:
+        rationale = (
+            "content-based merging across tenants: a tenant can probe "
+            "CoW write-fault latency to learn whether another tenant "
+            "holds a given page (the KSM dedup side channel)"
+            + (
+                "; retroactive merge arrival adds a timing signal"
+                if retroactive
+                else ""
+            )
+        )
+    elif scope == "tenant":
+        rationale = (
+            "merging confined to one tenant's own functions: no page is "
+            "ever shared across a trust boundary, so the dedup side "
+            "channel has no victim"
+        )
+    else:
+        rationale = (
+            "merging confined to a function's own snapshot lineage — "
+            "the paper's policy: sharing established at snapshot time, "
+            "never across functions or tenants"
+        )
+    return DedupAudit(
+        scope=scope,
+        retroactive=retroactive,
+        cross_tenant=cross_tenant,
+        side_channel=cross_tenant,
+        rationale=rationale,
+    )
+
+
 def attack_surface_reduction_factor() -> float:
     """How many times smaller the SEUSS domain interface is."""
     return (

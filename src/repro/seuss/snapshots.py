@@ -98,7 +98,10 @@ class SnapshotCache:
         """
         if key in self._entries:
             return False
-        footprint = snapshot.footprint_pages
+        # Charge what the capture actually claimed from the pool:
+        # equals footprint_pages without dedup; with dedup, frames
+        # shared with already-cached snapshots count once.
+        footprint = snapshot.charged_pages
         self._make_room(footprint)
         snapshot.retain()
         self._entries[key] = snapshot
@@ -132,10 +135,11 @@ class SnapshotCache:
         self._drop_idle(key)
         if snapshot.refcount > 1:
             return False  # a live invocation still depends on it
-        footprint = snapshot.footprint_pages
         del self._entries[key]
         snapshot.release()
-        snapshot.delete()
+        # Deduped snapshots only free shared frames at refcount zero;
+        # uncharge exactly what physically returned to the pool.
+        footprint = snapshot.delete()
         self._held_pages -= footprint
         self.stats.evictions += 1
         tracer = _active_tracer()
@@ -161,7 +165,7 @@ class SnapshotCache:
         snapshot = self._entries.pop(key, None)
         if snapshot is None:
             return False
-        self._held_pages -= snapshot.footprint_pages
+        self._held_pages -= snapshot.charged_pages
         self.stats.quarantined += 1
         tracer = _active_tracer()
         if tracer.enabled:

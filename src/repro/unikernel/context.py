@@ -65,12 +65,15 @@ class UnikernelContext:
         runtime: RuntimeSpec,
         base: Optional[Snapshot] = None,
         name: Optional[str] = None,
+        dedup=None,
     ) -> None:
         self.uc_id = next(_uc_ids)
         self.name = name or f"uc-{self.uc_id}"
         self.runtime = runtime
         self.layout = layout_for(runtime)
-        self.space = AddressSpace(allocator, base=base, name=self.name)
+        self.space = AddressSpace(
+            allocator, base=base, name=self.name, dedup=dedup
+        )
         self.hypercalls = HypercallInterface()
         self.driver = InvocationDriver(self.space, self.layout, self.hypercalls)
         self.state = UCState.CREATED
@@ -193,13 +196,19 @@ class UnikernelContext:
 
     # -- snapshotting -------------------------------------------------------
     def capture_snapshot(
-        self, name: str, trigger_label: str = "", flatten: bool = False
+        self,
+        name: str,
+        trigger_label: str = "",
+        flatten: bool = False,
+        content_namespace: Optional[str] = None,
     ) -> Snapshot:
         """Capture the dirty pages; execution continues transparently.
 
         ``flatten=True`` produces a self-contained snapshot (no parent
         lineage) — the snapshot-stack ablation and the wire format for
-        cross-node snapshot migration.
+        cross-node snapshot migration.  ``content_namespace`` stamps the
+        capture's duplicate-content region for the node's dedup domain
+        (ignored when the UC has none).
         """
         if self.destroyed:
             raise SnapshotError(f"{self.name}: destroyed")
@@ -207,7 +216,9 @@ class UnikernelContext:
             instruction_pointer=hash((name, trigger_label)) & 0xFFFF_FFFF,
             trigger_label=trigger_label or name,
         )
-        return self.space.capture_snapshot(name, cpu, flatten=flatten)
+        return self.space.capture_snapshot(
+            name, cpu, flatten=flatten, content_namespace=content_namespace
+        )
 
     # -- teardown -----------------------------------------------------------
     def destroy(self) -> int:

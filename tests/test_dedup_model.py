@@ -1,0 +1,155 @@
+"""Randomized model-based test: SharedFrameTable vs a naive oracle.
+
+In the style of ``test_intervals_model.py``: thousands of mixed
+``retain`` / ``release`` / ``merge`` / ``unmerge`` operations are
+replayed against a plain dict of ``content_id -> (pages, refs)``,
+asserting refcounts, frame ownership, savings arithmetic, and allocator
+invariants after every single operation.  Seeds are fixed so failures
+replay exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.mem.dedup import SHARED_CATEGORY, SharedFrameTable
+from repro.mem.frames import FrameAllocator
+
+SEEDS = [0, 1, 7, 42, 1337, 0xC0FFEE]
+
+OPS_PER_SEED = 2000
+
+#: Content-id universe: small enough that retains collide constantly.
+CONTENT_IDS = [f"chunk:{i}" for i in range(24)]
+
+#: Chunk size per content id (fixed per id, as in real captures).
+PAGES_PER_CHUNK = 8
+
+#: The category private copies live in before a retroactive merge.
+PRIVATE = "model_private"
+
+TOTAL_PAGES = 1_000_000
+
+
+def check_invariants(table: SharedFrameTable, oracle: dict, allocator) -> None:
+    """The table, the oracle, and the allocator must all agree."""
+    # Entry-by-entry equivalence.
+    assert len(table) == len(oracle)
+    for content_id, (pages, refs) in oracle.items():
+        assert content_id in table
+        assert table.refcount(content_id) == refs
+        assert table.chunk_pages(content_id) == pages
+        assert refs >= 1
+    # The table owns exactly its entries' frames, under its category.
+    expected_shared = sum(pages for pages, _refs in oracle.values())
+    assert table.shared_pages == expected_shared
+    assert allocator.category_pages(SHARED_CATEGORY) == expected_shared
+    # Savings arithmetic: one copy held per entry, refs-1 avoided.
+    expected_saved = sum(
+        pages * (refs - 1) for pages, refs in oracle.values()
+    )
+    assert table.saved_pages == expected_saved
+    # Dead ids report zero, not stale state.
+    for content_id in CONTENT_IDS:
+        if content_id not in oracle:
+            assert content_id not in table
+            assert table.refcount(content_id) == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_shared_frame_table_matches_refcount_oracle(seed):
+    rng = random.Random(seed)
+    allocator = FrameAllocator(TOTAL_PAGES)
+    table = SharedFrameTable(allocator)
+    #: content_id -> (pages, refs); present iff live in the table.
+    oracle: dict = {}
+    operations = ("retain", "release", "merge", "unmerge")
+    weights = (35, 30, 20, 15)
+    for _step in range(OPS_PER_SEED):
+        op = rng.choices(operations, weights)[0]
+        content_id = rng.choice(CONTENT_IDS)
+        if op == "retain":
+            free_before = allocator.free_pages
+            newly = table.retain(content_id, PAGES_PER_CHUNK)
+            if content_id in oracle:
+                pages, refs = oracle[content_id]
+                oracle[content_id] = (pages, refs + 1)
+                assert newly == 0
+                assert allocator.free_pages == free_before
+            else:
+                oracle[content_id] = (PAGES_PER_CHUNK, 1)
+                assert newly == PAGES_PER_CHUNK
+                assert allocator.free_pages == free_before - PAGES_PER_CHUNK
+        elif op == "release":
+            if content_id not in oracle:
+                with pytest.raises(KeyError):
+                    table.release(content_id)
+            else:
+                pages, refs = oracle[content_id]
+                free_before = allocator.free_pages
+                freed = table.release(content_id)
+                if refs == 1:
+                    del oracle[content_id]
+                    assert freed == pages
+                    assert allocator.free_pages == free_before + pages
+                else:
+                    oracle[content_id] = (pages, refs - 1)
+                    assert freed == 0
+                    assert allocator.free_pages == free_before
+        elif op == "merge":
+            # A retroactive scan found a private copy of this content.
+            allocator.allocate(PAGES_PER_CHUNK, PRIVATE)
+            free_before = allocator.free_pages
+            reclaimed = table.merge(content_id, PAGES_PER_CHUNK, PRIVATE)
+            if content_id in oracle:
+                pages, refs = oracle[content_id]
+                oracle[content_id] = (pages, refs + 1)
+                assert reclaimed is True
+                # The duplicate's frames went back to the pool.
+                assert allocator.free_pages == free_before + PAGES_PER_CHUNK
+            else:
+                oracle[content_id] = (PAGES_PER_CHUNK, 1)
+                assert reclaimed is False
+                # Adoption moves accounting, frees nothing.
+                assert allocator.free_pages == free_before
+        elif op == "unmerge":
+            if content_id not in oracle:
+                with pytest.raises(KeyError):
+                    table.unmerge(content_id, PRIVATE)
+            else:
+                pages, refs = oracle[content_id]
+                private_before = allocator.category_pages(PRIVATE)
+                privatized = table.unmerge(content_id, PRIVATE)
+                assert privatized == pages
+                assert (
+                    allocator.category_pages(PRIVATE)
+                    == private_before + pages
+                )
+                if refs == 1:
+                    del oracle[content_id]
+                else:
+                    oracle[content_id] = (pages, refs - 1)
+        check_invariants(table, oracle, allocator)
+    # Drain: releasing every remaining reference returns every shared
+    # frame to the pool.
+    for content_id, (pages, refs) in list(oracle.items()):
+        for _ in range(refs):
+            table.release(content_id)
+        del oracle[content_id]
+    check_invariants(table, oracle, allocator)
+    assert table.shared_pages == 0
+    assert allocator.category_pages(SHARED_CATEGORY) == 0
+
+
+def test_retain_rejects_size_mismatch_and_bad_pages():
+    allocator = FrameAllocator(TOTAL_PAGES)
+    table = SharedFrameTable(allocator)
+    table.retain("c", 8)
+    with pytest.raises(ValueError):
+        table.retain("c", 4)
+    with pytest.raises(ValueError):
+        table.merge("c", 4, "x")
+    with pytest.raises(ValueError):
+        table.retain("d", 0)

@@ -1,0 +1,126 @@
+"""Page dedup must not perturb the default path.
+
+Mirrors ``test_sharding_zero_perturbation.py``: a cluster built with
+the dedup knobs spelled out at their defaults (``page_dedup=False``,
+``dedup_scanner=False``, ...) must replay the exact event schedule of
+one built without mentioning dedup at all, on both node types.  The
+fingerprints compare complete per-request timing sequences, so a single
+reordered event or 1-ulp float drift fails the test.
+"""
+
+from __future__ import annotations
+
+from repro.faas.cluster import FaasCluster
+from repro.linuxnode.ksm import KsmDaemon
+from repro.seuss.config import SeussConfig
+from repro.sim import Environment
+from repro.workload.functions import unique_nop_set
+from repro.workload.generator import run_trial
+
+INVOCATIONS = 200
+SET_SIZE = 16
+WORKERS = 8
+SEED = 0x0FF
+
+EXPLICIT_DEFAULT_CONFIG = SeussConfig(
+    page_dedup=False,
+    dedup_scope="tenant",
+    dedup_duplicate_fraction=0.55,
+    dedup_scanner=False,
+    dedup_scan_rate_pages_per_s=25_000.0,
+)
+
+
+def _fingerprint(trial):
+    """Everything a client can observe, in completion order.
+
+    ``request_id`` is excluded: it comes from a process-global counter,
+    so it differs between any two runs in one test process.
+    """
+    return [
+        (
+            r.sent_at_ms,
+            r.finished_at_ms,
+            r.path,
+            r.success,
+            r.attempts,
+        )
+        for r in trial.results
+    ]
+
+
+def _trial(constructor, node_kwargs, prepare=None):
+    env = Environment()
+    cluster = constructor(env, **node_kwargs)
+    if prepare is not None:
+        prepare(env, cluster)
+    return run_trial(
+        cluster,
+        unique_nop_set(SET_SIZE),
+        invocation_count=INVOCATIONS,
+        workers=WORKERS,
+        seed=SEED,
+    )
+
+
+class TestDedupOffIsInvisible:
+    def test_seuss_cluster_schedule_is_byte_identical(self):
+        baseline = _trial(FaasCluster.with_seuss_node, {})
+        explicit = _trial(
+            FaasCluster.with_seuss_node,
+            dict(config=EXPLICIT_DEFAULT_CONFIG),
+        )
+        assert _fingerprint(explicit) == _fingerprint(baseline)
+
+    def test_linux_cluster_schedule_is_byte_identical(self):
+        def construct_but_never_start(env, cluster):
+            # The adapter may be built eagerly; only start() costs time.
+            for node in cluster.nodes:
+                KsmDaemon(env, node.allocator)
+
+        baseline = _trial(FaasCluster.with_linux_node, {})
+        with_daemon = _trial(
+            FaasCluster.with_linux_node, {}, prepare=construct_but_never_start
+        )
+        assert _fingerprint(with_daemon) == _fingerprint(baseline)
+
+    def test_default_config_wires_no_dedup_domain(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(env)
+        for node in cluster.nodes:
+            assert node.dedup is None
+
+    def test_explicit_defaults_wire_no_dedup_domain(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(
+            env, config=EXPLICIT_DEFAULT_CONFIG
+        )
+        for node in cluster.nodes:
+            assert node.dedup is None
+
+    def test_dedup_on_does_wire_a_domain(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(
+            env, config=SeussConfig(page_dedup=True)
+        )
+        for node in cluster.nodes:
+            assert node.dedup is not None
+            assert node.dedup.capture_enabled
+            assert node.dedup.scanner is None
+
+    def test_resilience_report_sees_dedup_without_health_view(self):
+        # The default cluster wires no health list; the report must
+        # still find dedup domains via cluster.nodes.
+        from repro.metrics.resilience import ResilienceReport
+
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(
+            env, config=SeussConfig(page_dedup=True, dedup_scanner=True)
+        )
+        for fn in unique_nop_set(4, owner_prefix="tenant"):
+            assert cluster.invoke_sync(fn).success
+        env.run(until=env.now + 2_000)
+        report = ResilienceReport.from_cluster(cluster)
+        assert report.dedup_merged_pages > 0
+        assert report.dedup_scan_ms > 0
+        assert any(line.startswith("dedup:") for line in report.lines())

@@ -86,3 +86,54 @@ class TestDaemonDynamics:
         daemon = KsmDaemon(env, allocator)
         assert daemon.retroactive_sharing
         assert not SEUSS_PROFILE.retroactive_dedup
+
+
+class TestStopStartRegression:
+    """Stop/start must not leave two live scan loops.
+
+    The old loop only checked a boolean, so a ``stop()``/``start()``
+    cycle while the first loop was parked on its timeout left both
+    loops running — doubling the effective scan rate.  The
+    loop-generation token retires the parked loop on wake.
+    """
+
+    def test_restart_does_not_double_scan_rate(self, env, loaded_node):
+        daemon = KsmDaemon(
+            env, loaded_node.allocator, scan_rate_pages_per_s=25_000
+        )
+        # Churn the daemon: several stop/start cycles, each leaving a
+        # loop parked mid-timeout when the next one spawns.
+        for _ in range(3):
+            daemon.start()
+            env.run(until=env.now + 50)  # mid-interval: loop is parked
+            daemon.stop()
+        daemon.start()
+        merged_before = daemon.stats.merged_pages
+        env.run(until=env.now + 1_000)
+        merged = daemon.stats.merged_pages - merged_before
+        # One live loop merges ~25k pages/s; the double-loop bug
+        # produced ~2x (and ~4x after the cycles above).
+        assert merged == pytest.approx(25_000, rel=0.15)
+
+    def test_start_is_idempotent_while_running(self, env, loaded_node):
+        daemon = KsmDaemon(
+            env, loaded_node.allocator, scan_rate_pages_per_s=25_000
+        )
+        daemon.start()
+        daemon.start()  # no second loop
+        merged_before = daemon.stats.merged_pages
+        env.run(until=env.now + 1_000)
+        merged = daemon.stats.merged_pages - merged_before
+        assert merged == pytest.approx(25_000, rel=0.15)
+        daemon.stop()
+        env.run()
+        assert not daemon.running
+
+    def test_stopped_daemon_stays_stopped(self, env, loaded_node):
+        daemon = KsmDaemon(env, loaded_node.allocator)
+        daemon.start()
+        env.run(until=env.now + 1_000)
+        daemon.stop()
+        merged_at_stop = daemon.stats.merged_pages
+        env.run(until=env.now + 5_000)
+        assert daemon.stats.merged_pages == merged_at_stop
