@@ -333,6 +333,51 @@ def bench_event_loop() -> Tuple[int, float]:
     return events, elapsed
 
 
+#: Cached fleet workload: generation (seeded RNG vectors) is untimed
+#: setup and identical across repeats, so build it once per process.
+_FLEET_WORKLOAD = None
+
+
+def bench_million_event_fleet() -> Tuple[int, float]:
+    """Fleet-scale engine churn: >1M events through the calendar queue.
+
+    A seeded Zipf-skewed arrival mix (10k functions, 400 arrivals/ms,
+    exponential 250 ms service) driven through the batched injection
+    path — ``timeout_batch`` arrival epochs with pre-scheduled
+    completions — over 520k arrivals = 1,040,002 engine events, with
+    ~100k events pending at steady state.  This is the regime the
+    calendar queue exists for; the committed heap-era reference for the
+    same workload lives in ``benchmarks/fleet_heap_baseline.json``.
+
+    GC is disabled inside the timed region (and restored after): at a
+    million live tracked objects the collector's generational passes
+    dominate wall time and the bench would measure the allocator, not
+    the engine.
+    """
+    import gc
+
+    from repro.sim import Environment
+    from repro.workload.fleet import FleetConfig, generate, run_batched
+
+    global _FLEET_WORKLOAD
+    if _FLEET_WORKLOAD is None:
+        _FLEET_WORKLOAD = generate(FleetConfig(arrivals=520_000))
+    workload = _FLEET_WORKLOAD
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        env = Environment()
+        started = time.perf_counter()
+        stats = run_batched(workload, env)
+        elapsed = time.perf_counter() - started
+    finally:
+        if was_enabled:
+            gc.enable()
+    assert stats.engine_events >= 1_000_000
+    return stats.engine_events, elapsed
+
+
 #: name -> (callable, units label).  Order is the report order.
 BENCHMARKS: Dict[str, Tuple[Callable[[], Tuple[int, float]], str]] = {
     "interval_update": (bench_interval_update, "unions"),
@@ -345,6 +390,7 @@ BENCHMARKS: Dict[str, Tuple[Callable[[], Tuple[int, float]], str]] = {
     "routing_decision": (bench_routing_decision, "decisions"),
     "page_dedup": (bench_page_dedup, "table ops"),
     "event_loop": (bench_event_loop, "events"),
+    "million_event_fleet": (bench_million_event_fleet, "events"),
 }
 
 

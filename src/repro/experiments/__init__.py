@@ -31,6 +31,7 @@ __all__ = [
     "run_figure6",
     "run_figure7",
     "run_figure8",
+    "run_fleet",
     "run_ksm_contrast",
     "run_latency",
     "run_overload",
@@ -62,6 +63,7 @@ _LAZY = {
     "run_overload": "repro.experiments.overload",
     "run_scale": "repro.experiments.scale",
     "run_density": "repro.experiments.density",
+    "run_fleet": "repro.experiments.fleet",
 }
 
 #: Every module that registers specs, in display order (``all`` runs
@@ -82,6 +84,7 @@ EXPERIMENT_MODULES = (
     "repro.experiments.overload",
     "repro.experiments.scale",
     "repro.experiments.density",
+    "repro.experiments.fleet",
 )
 
 

@@ -25,6 +25,7 @@ hold live simulation state.
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 import zlib
@@ -74,6 +75,13 @@ class SuiteResult:
     seed: Optional[int]
     outcomes: List[ExperimentOutcome] = field(default_factory=list)
     wall_clock_s: float = 0.0
+    #: How the run actually executed: ``in-process`` (serial, including
+    #: runs where the requested width clamped to 1) or ``process-pool``.
+    executor: str = "in-process"
+    #: Worker count after clamping to the spec count and the host's
+    #: cores — the width that actually ran, vs the requested
+    #: :attr:`parallel`.
+    effective_workers: int = 1
     #: Whether a process-global tracer was active for this run, and
     #: where its Perfetto export was written (the CLI's ``--trace``).
     trace_enabled: bool = False
@@ -111,6 +119,8 @@ class SuiteResult:
             "kind": "seuss-repro-suite",
             "profile": self.profile,
             "parallel": self.parallel,
+            "executor": self.executor,
+            "effective_workers": self.effective_workers,
             "seed": self.seed,
             "wall_clock_s": round(self.wall_clock_s, 3),
             "trace": {
@@ -180,12 +190,27 @@ def run_suite(
     registry: Optional[ExperimentRegistry] = None,
     progress: Optional[ProgressFn] = None,
     on_outcome: Optional[Callable[[ExperimentOutcome], None]] = None,
+    keep_results: bool = True,
 ) -> SuiteResult:
     """Run ``experiment_ids`` at ``profile`` scale, ``parallel`` wide.
 
     Outcomes are returned — and streamed to ``on_outcome`` — in the
     order the ids were given, regardless of completion order, so serial
     and parallel runs emit identical table sequences.
+
+    The requested width is clamped to the spec count *and* the host's
+    core count: a process pool that cannot actually run two workers
+    only adds spawn/pickle overhead, so on a single-core host the suite
+    always executes in-process.  :attr:`SuiteResult.executor` records
+    which path ran.
+
+    ``keep_results=False`` drops the live
+    :class:`~repro.experiments.base.ExperimentResult` objects from
+    serial outcomes (parallel workers never return them).  Callers that
+    only consume the rendered text/tables — benchmarking in particular
+    — should pass ``False``: retaining 20 experiments' simulation
+    graphs measurably slows everything that allocates afterwards (the
+    collector re-traces them on every generational pass).
     """
     if registry is None:
         from repro.experiments import load_all
@@ -222,18 +247,22 @@ def run_suite(
                 f"after {outcome.duration_s:.1f}s: {outcome.error_type}"
             )
 
-    if parallel == 1 or len(specs) <= 1:
+    effective = min(parallel, max(len(specs), 1), os.cpu_count() or 1)
+    if effective <= 1:
+        executor = "in-process"
         for spec in specs:
             announce(spec)
             outcome = _execute(
-                spec, profile, seeds[spec.experiment_id], keep_result=True
+                spec, profile, seeds[spec.experiment_id],
+                keep_result=keep_results,
             )
             report(outcome)
             outcomes.append(outcome)
             deliver(outcome)
     else:
+        executor = "process-pool"
         outcomes = _run_parallel(
-            specs, profile, seeds, parallel, announce, report, deliver
+            specs, profile, seeds, effective, announce, report, deliver
         )
 
     return SuiteResult(
@@ -242,6 +271,8 @@ def run_suite(
         seed=seed,
         outcomes=outcomes,
         wall_clock_s=time.perf_counter() - started,
+        executor=executor,
+        effective_workers=effective,
     )
 
 

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.errors import ConfigError
+from repro.trace import tracer_for
 
 CandidateT = TypeVar("CandidateT")
 
@@ -299,8 +300,6 @@ class SnapshotAffinityPolicy(RoutingPolicy):
                 stats.spills += 1
         self._last_ranking_spilled = False
         if env is not None:
-            from repro.trace import tracer_for
-
             tracer = tracer_for(env)
             if tracer.enabled:
                 tracer.counter(

@@ -10,12 +10,31 @@ The design mirrors simpy's public surface (``Environment.process``,
 ``timeout``, ``run(until=...)``, ``AnyOf``/``AllOf``, ``Interrupt``) so
 that the component models in the rest of the package read naturally, but
 the implementation here is self-contained and dependency-free.
+
+Pending events live in a calendar/bucket queue (:mod:`repro.sim.calendar`)
+with O(1) amortized insert and pop at fleet scale; the historical
+``heapq`` backend remains selectable (``Environment(queue="heap")``) as
+the reference oracle — both pop in the exact same ``(time, priority,
+insertion id)`` order.  Bulk producers (trace replay, batched arrival
+injection) should prefer :meth:`Environment.schedule_batch` /
+:meth:`Environment.timeout_batch`, which insert N pre-sorted events in
+one queue pass.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import (
+    Any,
+    Callable,
+    Generator,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.sim.calendar import CalendarQueue, HeapQueue
 
 #: Event priorities: interrupts must preempt normal callbacks scheduled
 #: for the same instant, so they are queued with ``URGENT`` priority.
@@ -337,12 +356,31 @@ class AnyOf(Condition):
         self.succeed(self._collect())
 
 
+#: Selectable event-queue backends.  ``calendar`` (the default) is the
+#: O(1)-amortized bucket queue from :mod:`repro.sim.calendar`; ``heap``
+#: is the historical ``heapq`` implementation, kept as the reference
+#: oracle for the model/zero-perturbation tests.  Both produce the exact
+#: same pop order — entries are ``(time, priority, eid, event)`` tuples
+#: either way — so the choice is invisible to every experiment table.
+QUEUE_BACKENDS = {
+    "calendar": CalendarQueue,
+    "heap": HeapQueue,
+}
+
+
 class Environment:
     """The simulation clock and event queue."""
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, queue: str = "calendar") -> None:
         self._now = float(initial_time)
-        self._queue: List = []
+        backend = QUEUE_BACKENDS.get(queue)
+        if backend is None:
+            raise ValueError(
+                f"unknown queue backend {queue!r}; "
+                f"expected one of {sorted(QUEUE_BACKENDS)}"
+            )
+        self._queue_backend = queue
+        self._pending = backend(start=self._now)
         self._eid = 0
         self._active_process: Optional[Process] = None
         self._events_processed = 0
@@ -360,6 +398,11 @@ class Environment:
     @property
     def active_process(self) -> Optional[Process]:
         return self._active_process
+
+    @property
+    def queue_backend(self) -> str:
+        """Name of the event-queue backend (``calendar`` or ``heap``)."""
+        return self._queue_backend
 
     # -- factories ----------------------------------------------------
     def event(self) -> Event:
@@ -384,19 +427,105 @@ class Environment:
         if event._state == PENDING:
             event._state = TRIGGERED
         self._eid += 1
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._eid, event)
+        self._pending.push(
+            (self._now + delay, priority, self._eid, event), self._now
         )
+
+    def schedule_batch(
+        self, items: Iterable[Tuple[float, Event]], priority: int = NORMAL
+    ) -> None:
+        """Schedule pre-triggered events at ascending absolute times.
+
+        ``items`` yields ``(when, event)`` pairs sorted by ``when``
+        ascending, with every ``when >= now``.  The batch is inserted in
+        one queue pass, assigning insertion ids in iteration order — so
+        the resulting schedule is exactly what N sequential
+        ``_schedule(event, delay=when - now)`` calls would have built,
+        at a fraction of the cost.
+
+        The events must already carry their value/outcome (like a
+        Timeout does); the engine will fire them as-is.
+        """
+        now = self._now
+        eid = self._eid
+        entries: List[Tuple[float, int, int, Event]] = []
+        append = entries.append
+        last = now
+        for when, event in items:
+            if when < last:
+                raise ValueError(
+                    f"schedule_batch times must be ascending and >= now "
+                    f"(got {when} after {last})"
+                )
+            last = when
+            if event._state == PENDING:
+                event._state = TRIGGERED
+            eid += 1
+            append((when, priority, eid, event))
+        self._eid = eid
+        self._pending.push_sorted(entries, now)
+
+    def timeout_batch(
+        self,
+        delays: Sequence[float],
+        value: Any = None,
+        callback: Optional[Callable[[Event], None]] = None,
+    ) -> List[Timeout]:
+        """Create N timeouts from ascending delays in one queue pass.
+
+        Equivalent to ``[self.timeout(d, value) for d in delays]`` —
+        same objects, same firing order, same insertion ids — but the
+        queue insert is a single bulk pass and the per-timeout
+        constructor overhead is stripped.  ``delays`` must be sorted
+        ascending and non-negative.
+
+        ``callback``, when given, is pre-seeded as each timeout's first
+        callback — the same effect as appending it to every returned
+        timeout, without a second million-element pass at fleet scale.
+        """
+        now = self._now
+        eid = self._eid
+        timeouts: List[Timeout] = []
+        entries: List[Tuple[float, int, int, Event]] = []
+        t_append = timeouts.append
+        e_append = entries.append
+        t_new = Timeout.__new__
+        prev = 0.0
+        for delay in delays:
+            if delay < prev:
+                if delay < 0:
+                    raise ValueError(f"negative delay {delay}")
+                raise ValueError(
+                    f"timeout_batch delays must be ascending "
+                    f"(got {delay} after {prev})"
+                )
+            prev = delay
+            timeout = t_new(Timeout)
+            timeout.env = self
+            timeout.callbacks = [] if callback is None else [callback]
+            timeout._value = value
+            timeout._ok = True
+            timeout._state = TRIGGERED
+            timeout._defused = False
+            timeout.delay = delay
+            eid += 1
+            e_append((now + delay, NORMAL, eid, timeout))
+            t_append(timeout)
+        self._eid = eid
+        self._pending.push_sorted(entries, now)
+        return timeouts
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        head = self._pending.head()
+        return head[0] if head is not None else float("inf")
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._queue:
-            raise SimulationError("event queue is empty")
-        when, _priority, _eid, event = heapq.heappop(self._queue)
+        try:
+            when, _priority, _eid, event = self._pending.pop()
+        except IndexError:
+            raise SimulationError("event queue is empty") from None
         self._now = when
         self._events_processed += 1
         callbacks, event.callbacks = event.callbacks, []
@@ -421,11 +550,11 @@ class Environment:
         # The budget check is inlined into each loop (no closure call on
         # the per-event hot path).
         budget = limit if limit is not None else -1
-        queue = self._queue
+        pending = self._pending
         step = self.step
 
         if until is None:
-            while queue:
+            while pending:
                 if budget == 0:
                     raise SimulationError(
                         f"event limit of {limit} reached at t={self._now}"
@@ -436,7 +565,7 @@ class Environment:
 
         if isinstance(until, Event):
             while not until.processed:
-                if not queue:
+                if not pending:
                     raise SimulationError(
                         "event queue empty before target event triggered"
                     )
@@ -454,7 +583,11 @@ class Environment:
         deadline = float(until)
         if deadline < self._now:
             raise ValueError(f"until={deadline} is in the past (now={self._now})")
-        while queue and queue[0][0] <= deadline:
+        head = pending.head
+        while True:
+            entry = head()
+            if entry is None or entry[0] > deadline:
+                break
             if budget == 0:
                 raise SimulationError(
                     f"event limit of {limit} reached at t={self._now}"

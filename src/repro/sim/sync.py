@@ -9,7 +9,7 @@ topics).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List
+from typing import Any, Deque, Iterable, List
 
 from repro.sim.core import Environment, Event, SimulationError
 
@@ -110,6 +110,28 @@ class Store:
         else:
             self._putters.append((event, item))
         return event
+
+    def put_nowait_batch(self, items: Iterable[Any]) -> int:
+        """Bulk insert without per-item acceptance events.
+
+        The batched-producer fast path: waiting getters are served
+        first (their events trigger as usual), the remainder lands in
+        ``items`` in one ``extend`` — zero events scheduled for it.
+        Only legal on an unbounded store, where ``put`` can never
+        block, so dropping the acceptance events loses nothing.
+        Returns the number of items inserted.
+        """
+        if self.capacity != float("inf"):
+            raise SimulationError(
+                "put_nowait_batch requires an unbounded store"
+            )
+        pending = deque(items)
+        count = len(pending)
+        while self._getters and pending:
+            self._getters.popleft().succeed(pending.popleft())
+        if pending:
+            self.items.extend(pending)
+        return count
 
     def get(self) -> Event:
         event = Event(self.env)

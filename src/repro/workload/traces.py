@@ -156,14 +156,31 @@ def synthesize_trace(
     ]
 
 
-def replay_trace(cluster, trace: Sequence[TraceEntry]):
+def replay_trace(
+    cluster,
+    trace: Sequence[TraceEntry],
+    batched: bool = False,
+    epoch_size: int = 10_000,
+):
     """Replay a trace open-loop against a cluster; returns results.
 
     Unlike the closed-loop :class:`~repro.workload.generator.LoadGenerator`
     (C workers, at most C in flight), a trace replay launches each
     request at its timestamp regardless of completions — the open-loop
     behaviour of real external clients.
+
+    ``batched=False`` is the historical path: one waiter process and
+    one arrival timeout per entry (byte-identical schedules).  With
+    ``batched=True`` the arrival timeline is injected epoch-by-epoch
+    through :meth:`~repro.sim.Environment.timeout_batch` — one bulk
+    queue insert per ``epoch_size`` entries and no per-entry waiter
+    process — the path that makes million-invocation fleet replays
+    affordable.  Requires ``trace`` sorted by ``at_ms`` (as
+    :func:`synthesize_trace` produces).  Results arrive in completion
+    order either way.
     """
+    if batched:
+        return _replay_trace_batched(cluster, trace, epoch_size)
     env = cluster.env
     results = []
 
@@ -176,4 +193,43 @@ def replay_trace(cluster, trace: Sequence[TraceEntry]):
 
     procs = [env.process(fire(entry)) for entry in trace]
     env.run(until=env.all_of(procs))
+    return results
+
+
+def _replay_trace_batched(cluster, trace: Sequence[TraceEntry], epoch_size: int):
+    """Epoch-chunked arrival injection behind :func:`replay_trace`."""
+    if epoch_size < 1:
+        raise ConfigError(f"epoch_size must be >= 1, got {epoch_size}")
+    env = cluster.env
+    total = len(trace)
+    if total == 0:
+        return []
+    results: list = []
+    done = env.event()
+
+    def collect(process) -> None:
+        results.append(process.value)
+        if len(results) == total:
+            done.succeed()
+
+    def launch(event, entry: TraceEntry) -> None:
+        cluster.invoke(entry.function).callbacks.append(collect)
+
+    def driver():
+        for start in range(0, total, epoch_size):
+            chunk = trace[start : start + epoch_size]
+            now = env.now
+            timeouts = env.timeout_batch(
+                [max(0.0, entry.at_ms - now) for entry in chunk]
+            )
+            for timeout, entry in zip(timeouts, chunk):
+                timeout.callbacks.append(
+                    lambda event, entry=entry: launch(event, entry)
+                )
+            # Hold the next epoch back until this one's arrivals fired,
+            # keeping at most epoch_size arrival timeouts in the queue.
+            yield timeouts[-1]
+
+    env.process(driver())
+    env.run(until=done)
     return results

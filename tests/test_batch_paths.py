@@ -1,0 +1,254 @@
+"""Batched scheduling paths: replay, open-loop trials, volley dispatch.
+
+Each batched path is opt-in; these tests pin (a) that the batched and
+legacy forms produce identical client-visible outcomes, and (b) that
+batching actually removes engine events rather than adding them.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faas.cluster import FaasCluster
+from repro.sim import Environment, SimulationError, Store
+from repro.workload.burst import BurstConfig, BurstWorkload
+from repro.workload.functions import cpu_bound_function
+from repro.workload.generator import run_open_loop_trial
+from repro.workload.traces import (
+    PoissonArrivals,
+    ZipfPopularity,
+    synthesize_trace,
+    replay_trace,
+)
+
+
+def _cluster():
+    return FaasCluster.with_seuss_node(Environment())
+
+
+def _functions(count=8, exec_ms=5.0):
+    return [
+        cpu_bound_function(f"f{index}", exec_ms=exec_ms)
+        for index in range(count)
+    ]
+
+
+def _trace(fns, count=400):
+    return synthesize_trace(
+        fns,
+        PoissonArrivals(200.0, seed=3),
+        ZipfPopularity(len(fns), seed=4),
+        count,
+    )
+
+
+def _outcome_key(results):
+    return sorted(
+        (r.function_key, round(r.sent_at_ms, 9), round(r.finished_at_ms, 9), r.success)
+        for r in results
+    )
+
+
+class TestBatchedReplay:
+    def test_outcomes_identical_to_legacy(self):
+        legacy_cluster = _cluster()
+        results_legacy = replay_trace(
+            legacy_cluster, _trace(_functions())
+        )
+        batched_cluster = _cluster()
+        results_batched = replay_trace(
+            batched_cluster, _trace(_functions()), batched=True, epoch_size=64
+        )
+        assert _outcome_key(results_legacy) == _outcome_key(results_batched)
+        # The batched path must save events, not add them.
+        assert (
+            batched_cluster.env.events_processed
+            < legacy_cluster.env.events_processed
+        )
+
+    def test_single_epoch_and_tiny_epochs_agree(self):
+        whole = replay_trace(
+            _cluster(), _trace(_functions(), count=120),
+            batched=True, epoch_size=10_000,
+        )
+        tiny = replay_trace(
+            _cluster(), _trace(_functions(), count=120),
+            batched=True, epoch_size=7,
+        )
+        assert _outcome_key(whole) == _outcome_key(tiny)
+
+    def test_empty_trace(self):
+        assert replay_trace(_cluster(), [], batched=True) == []
+
+    def test_bad_epoch_size(self):
+        with pytest.raises(ConfigError, match="epoch_size"):
+            replay_trace(_cluster(), _trace(_functions(), 10),
+                         batched=True, epoch_size=0)
+
+
+class TestOpenLoopTrial:
+    def test_completes_all_invocations(self):
+        cluster = _cluster()
+        trial = run_open_loop_trial(
+            cluster, _functions(), invocation_count=300,
+            rate_per_s=300.0, epoch_size=97,
+        )
+        assert len(trial.results) == 300
+        assert trial.error_rate == 0.0
+        assert trial.function_set_size == 8
+        # Arrivals are open-loop: sends do not wait for completions, so
+        # the send timeline is the Poisson one (~1 s for 300 @ 300/s).
+        sent = [r.sent_at_ms for r in trial.results]
+        assert max(sent) - min(sent) < 3_000.0
+
+    def test_deterministic_across_epoch_sizes(self):
+        a = run_open_loop_trial(
+            _cluster(), _functions(), 150, rate_per_s=500.0, epoch_size=11
+        )
+        b = run_open_loop_trial(
+            _cluster(), _functions(), 150, rate_per_s=500.0, epoch_size=150
+        )
+        assert _outcome_key(a.results) == _outcome_key(b.results)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            run_open_loop_trial(_cluster(), [], 10, rate_per_s=10.0)
+        with pytest.raises(ConfigError):
+            run_open_loop_trial(_cluster(), _functions(), 10, rate_per_s=0.0)
+        with pytest.raises(ConfigError):
+            run_open_loop_trial(
+                _cluster(), _functions(), 10, rate_per_s=10.0, epoch_size=0
+            )
+
+
+class TestVolleyDispatch:
+    def test_invoke_batch_matches_individual_invokes(self):
+        fn = _functions(1)[0]
+        batched_cluster = _cluster()
+        procs = batched_cluster.invoke_batch([fn] * 24)
+        batched_cluster.env.run(until=batched_cluster.env.all_of(procs))
+        plain_cluster = _cluster()
+        singles = [plain_cluster.invoke(fn) for _ in range(24)]
+        plain_cluster.env.run(until=plain_cluster.env.all_of(singles))
+        assert [
+            (p.value.function_key, p.value.sent_at_ms, p.value.finished_at_ms)
+            for p in procs
+        ] == [
+            (p.value.function_key, p.value.sent_at_ms, p.value.finished_at_ms)
+            for p in singles
+        ]
+        assert (
+            batched_cluster.env.events_processed
+            < plain_cluster.env.events_processed
+        )
+
+    def test_invoke_batch_empty(self):
+        assert _cluster().invoke_batch([]) == []
+
+    def test_burst_workload_batched_dispatch_identical_results(self):
+        def run(batched):
+            cluster = _cluster()
+            config = BurstConfig(
+                burst_interval_ms=2_000.0,
+                burst_count=2,
+                burst_size=16,
+                background_workers=8,
+                background_functions=4,
+                warmup_ms=500.0,
+                batched_dispatch=batched,
+            )
+            result = BurstWorkload(config).run(cluster)
+            return result, cluster.env.events_processed
+
+        # The volley shares one dispatch tick; every latency observable
+        # in the figures must still be identical because the tick fires
+        # at the same instant the per-request timeouts did.
+        legacy, legacy_events = run(False)
+        batched, batched_events = run(True)
+        assert legacy.points() == batched.points()
+        assert batched_events < legacy_events
+
+
+class TestFleetDrivers:
+    def _workload(self, arrivals=3_000):
+        from repro.workload.fleet import FleetConfig, generate
+
+        return generate(FleetConfig(arrivals=arrivals, epoch_size=1_000))
+
+    def test_drivers_observe_identical_workload(self):
+        from repro.workload.fleet import run_batched, run_legacy
+
+        workload = self._workload()
+        legacy = run_legacy(workload)
+        batched = run_batched(workload)
+        assert legacy.function_counts == batched.function_counts
+        assert legacy.final_ms == batched.final_ms
+        assert legacy.completions == batched.completions == 3_000
+        # Batching halves the engine events (2 vs 4 per arrival).
+        assert batched.engine_events < legacy.engine_events
+        assert batched.events_per_arrival < 2.5
+
+    def test_batched_same_on_both_backends(self):
+        from repro.sim import Environment
+        from repro.workload.fleet import run_batched
+
+        workload = self._workload(1_500)
+        calendar = run_batched(workload, Environment(queue="calendar"))
+        heap = run_batched(workload, Environment(queue="heap"))
+        assert calendar.function_counts == heap.function_counts
+        assert calendar.final_ms == heap.final_ms
+        assert calendar.engine_events == heap.engine_events
+
+    def test_fleet_experiment_registered_and_deterministic(self):
+        from repro.experiments import load_all
+
+        spec = load_all().get("fleet")
+        first = spec.run(profile="smoke").to_text()
+        second = spec.run(profile="smoke").to_text()
+        assert first == second
+        assert "batched" in first and "legacy" in first
+
+
+class TestTimeoutBatchCallback:
+    def test_callback_preseeded_equals_appended(self):
+        from repro.sim import Environment
+
+        fired_a, fired_b = [], []
+        env_a = Environment()
+        for t in env_a.timeout_batch([1.0, 2.0, 5.0]):
+            t.callbacks.append(lambda e: fired_a.append(env_a.now))
+        env_a.run()
+        env_b = Environment()
+        env_b.timeout_batch(
+            [1.0, 2.0, 5.0], callback=lambda e: fired_b.append(env_b.now)
+        )
+        env_b.run()
+        assert fired_a == fired_b == [1.0, 2.0, 5.0]
+        assert env_a.events_processed == env_b.events_processed
+
+
+class TestStoreBatchPut:
+    def test_serves_getters_then_extends(self):
+        env = Environment()
+        store = Store(env)
+        first = store.get()
+        second = store.get()
+        inserted = store.put_nowait_batch(["a", "b", "c", "d"])
+        env.run()
+        assert inserted == 4
+        assert first.value == "a"
+        assert second.value == "b"
+        assert list(store.items) == ["c", "d"]
+
+    def test_no_events_when_no_getters(self):
+        env = Environment()
+        store = Store(env)
+        store.put_nowait_batch(range(1_000))
+        assert len(store) == 1_000
+        assert env.events_processed == 0
+        assert env.peek() == float("inf")
+
+    def test_rejects_bounded_store(self):
+        env = Environment()
+        store = Store(env, capacity=10)
+        with pytest.raises(SimulationError, match="unbounded"):
+            store.put_nowait_batch([1, 2])

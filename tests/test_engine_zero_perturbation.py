@@ -1,0 +1,130 @@
+"""Zero-perturbation pin: the calendar engine changes nothing observable.
+
+Two layers of evidence:
+
+* Every quick-profile experiment table must hash byte-identically to
+  the goldens in ``tests/data/quick_suite_tables.sha256.json``, which
+  were captured from the pristine ``heapq`` engine at the parent
+  commit.  A deviation in any digit of any of the 20 tables fails here.
+* ``Environment`` edge-case semantics (``peek`` on an empty queue,
+  ``run(until=...)`` with a past deadline, event limits, draining,
+  mid-gap deadlines) must behave identically — same exceptions, same
+  messages — on both queue backends.
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import load_all, registry
+from repro.sim import Environment, SimulationError
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).parent / "data" / "quick_suite_tables.sha256.json"
+)
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+load_all()
+
+
+@pytest.mark.parametrize("experiment_id", sorted(GOLDEN["tables"]))
+def test_quick_table_matches_heap_golden(experiment_id):
+    """Rendered table text is byte-identical to the heap-engine capture."""
+    spec = registry.get(experiment_id)
+    result = spec.run(profile="quick")
+    digest = hashlib.sha256(result.to_text().encode()).hexdigest()
+    assert digest == GOLDEN["tables"][experiment_id], (
+        f"{experiment_id}: quick-profile table deviates from the "
+        f"heap-engine golden ({GOLDEN['engine']}); the event engine "
+        f"perturbed experiment output"
+    )
+
+
+def test_goldens_cover_all_preexisting_experiments():
+    """Every golden id is still registered (none silently dropped)."""
+    registered = set(registry.ids())
+    missing = set(GOLDEN["tables"]) - registered
+    assert not missing, f"golden experiments no longer registered: {missing}"
+
+
+@pytest.fixture(params=["calendar", "heap"])
+def backend(request):
+    return request.param
+
+
+class TestEdgeSemanticsAcrossBackends:
+    def test_peek_empty_queue_is_inf(self, backend):
+        assert Environment(queue=backend).peek() == float("inf")
+
+    def test_step_empty_queue_raises(self, backend):
+        env = Environment(queue=backend)
+        with pytest.raises(SimulationError, match="event queue is empty"):
+            env.step()
+
+    def test_run_until_past_deadline_raises_value_error(self, backend):
+        env = Environment(initial_time=100.0, queue=backend)
+        with pytest.raises(ValueError) as excinfo:
+            env.run(until=99.5)
+        assert str(excinfo.value) == "until=99.5 is in the past (now=100.0)"
+
+    def test_run_until_now_is_a_noop(self, backend):
+        env = Environment(initial_time=100.0, queue=backend)
+        env.timeout(5.0)
+        env.run(until=100.0)
+        assert env.now == 100.0
+        assert env.events_processed == 0
+
+    def test_event_limit_message_identical(self, backend):
+        env = Environment(queue=backend)
+
+        def ticker():
+            while True:
+                yield env.timeout(1.0)
+
+        env.process(ticker())
+        with pytest.raises(SimulationError) as excinfo:
+            env.run(limit=10)
+        assert str(excinfo.value) == "event limit of 10 reached at t=9.0"
+
+    def test_run_until_event_with_empty_queue_raises(self, backend):
+        env = Environment(queue=backend)
+        target = env.event()
+        with pytest.raises(
+            SimulationError, match="event queue empty before target event"
+        ):
+            env.run(until=target)
+
+    def test_run_until_mid_gap_deadline_advances_clock(self, backend):
+        env = Environment(queue=backend)
+        fired = []
+        t = env.timeout(10.0)
+        t.callbacks.append(lambda ev: fired.append(env.now))
+        env.run(until=4.5)
+        assert env.now == 4.5
+        assert fired == []
+        env.run(until=20.0)
+        assert fired == [10.0]
+        assert env.now == 20.0
+
+    def test_peek_then_pop_order_preserved(self, backend):
+        """peek() must not disturb pop order (calendar head() rotates)."""
+        env = Environment(queue=backend)
+        fired = []
+        for delay in (3.0, 1.0, 2.0, 1.0):
+            t = env.timeout(delay, value=delay)
+            t.callbacks.append(lambda ev: fired.append((env.now, ev.value)))
+        assert env.peek() == 1.0
+        env.step()
+        assert env.peek() == 1.0
+        env.run()
+        assert fired == [(1.0, 1.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+
+    def test_drain_run_returns_none_and_counts_events(self, backend):
+        env = Environment(queue=backend)
+        for delay in (1.0, 2.0, 3.0):
+            env.timeout(delay)
+        assert env.run() is None
+        assert env.events_processed == 3
+        assert env.peek() == float("inf")
