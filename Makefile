@@ -1,6 +1,6 @@
 # Development entry points.
 
-.PHONY: install test bench perfgate chaos overload scale density repro repro-quick trace examples clean
+.PHONY: install test bench perfgate chaos overload scale density keepalive repro repro-quick trace examples clean
 
 install:
 	pip install -e .
@@ -43,6 +43,11 @@ scale:
 density:
 	pytest tests/ -m density
 	python -m repro.experiments.runner density --quick
+
+# Keep-alive policy lab: acceptance suite + cold-start/memory curves.
+keepalive:
+	pytest tests/ -m keepalive
+	python -m repro.experiments.runner keepalive --quick
 
 # Regenerate every paper table/figure (EXPERIMENTS.md's numbers).
 repro:

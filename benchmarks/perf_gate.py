@@ -378,6 +378,24 @@ def bench_million_event_fleet() -> Tuple[int, float]:
     return stats.engine_events, elapsed
 
 
+def bench_trace_synthesis() -> Tuple[int, float]:
+    """Fleet-trace build at production scale: 100k functions, stitched
+    diurnal segments, Zipf pool draw, burst clumping, timer trains and
+    the final merge sort.  One op is one synthesized arrival — the
+    setup cost every ``keepalive`` experiment run pays per trace.
+    """
+    from repro.workload.fleet import FleetTraceConfig, synthesize_fleet_trace
+
+    config = FleetTraceConfig(
+        functions=100_000, duration_ms=600_000.0, seed=0xBE9C
+    )
+    started = time.perf_counter()
+    trace = synthesize_fleet_trace(config)
+    elapsed = time.perf_counter() - started
+    assert trace.arrivals > 50_000
+    return trace.arrivals, elapsed
+
+
 #: name -> (callable, units label).  Order is the report order.
 BENCHMARKS: Dict[str, Tuple[Callable[[], Tuple[int, float]], str]] = {
     "interval_update": (bench_interval_update, "unions"),
@@ -391,6 +409,7 @@ BENCHMARKS: Dict[str, Tuple[Callable[[], Tuple[int, float]], str]] = {
     "page_dedup": (bench_page_dedup, "table ops"),
     "event_loop": (bench_event_loop, "events"),
     "million_event_fleet": (bench_million_event_fleet, "events"),
+    "trace_synthesis": (bench_trace_synthesis, "arrivals"),
 }
 
 

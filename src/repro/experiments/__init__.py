@@ -32,6 +32,7 @@ __all__ = [
     "run_figure7",
     "run_figure8",
     "run_fleet",
+    "run_keepalive",
     "run_ksm_contrast",
     "run_latency",
     "run_overload",
@@ -64,6 +65,7 @@ _LAZY = {
     "run_scale": "repro.experiments.scale",
     "run_density": "repro.experiments.density",
     "run_fleet": "repro.experiments.fleet",
+    "run_keepalive": "repro.experiments.keepalive",
 }
 
 #: Every module that registers specs, in display order (``all`` runs
@@ -85,6 +87,7 @@ EXPERIMENT_MODULES = (
     "repro.experiments.scale",
     "repro.experiments.density",
     "repro.experiments.fleet",
+    "repro.experiments.keepalive",
 )
 
 

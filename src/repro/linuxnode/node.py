@@ -62,6 +62,16 @@ class LinuxNode:
         )
         self.cores = Resource(env, self.config.cores)
         self.bridge = VirtualBridge(costs.linux, self.rng)
+        #: Pluggable idle-container eviction policy over function keys
+        #: (``seuss/policy.py``); ``None`` unless the config opts in,
+        #: keeping the historical LRU eviction path untouched.
+        self.cache_policy = None
+        if self.config.cache_policy is not None:
+            from repro.seuss.policy import make_policy
+
+            self.cache_policy = make_policy(
+                self.config.cache_policy, clock=lambda: self.env.now
+            )
         # Idle containers per function, LRU-ordered across functions.
         self._idle: "OrderedDict[str, Deque[Instance]]" = OrderedDict()
         self._idle_count = 0
@@ -138,8 +148,13 @@ class LinuxNode:
         instance = bucket.popleft()
         if not bucket:
             del self._idle[fn_key]
+            if self.cache_policy is not None:
+                # Left the cache by being used, not evicted.
+                self.cache_policy.on_remove(fn_key, evicted=False)
         else:
             self._idle.move_to_end(fn_key)
+            if self.cache_policy is not None:
+                self.cache_policy.on_hit(fn_key)
         self._idle_count -= 1
         self._busy_count += 1
         instance.state = InstanceState.BUSY
@@ -153,6 +168,8 @@ class LinuxNode:
             self._idle[instance.fn_key] = bucket
         bucket.append(instance)
         self._idle.move_to_end(instance.fn_key)
+        if self.cache_policy is not None:
+            self.cache_policy.on_insert(instance.fn_key)
         self._busy_count -= 1
         self._idle_count += 1
         self._notify_capacity()
@@ -171,11 +188,18 @@ class LinuxNode:
         stemcells); returns it, or None if everything is busy."""
         victim: Optional[Instance] = None
         if self._idle:
-            key = next(iter(self._idle))
+            if self.cache_policy is not None:
+                key = self.cache_policy.victim()
+                if key is None or key not in self._idle:
+                    key = next(iter(self._idle))
+            else:
+                key = next(iter(self._idle))
             bucket = self._idle[key]
             victim = bucket.popleft()
             if not bucket:
                 del self._idle[key]
+                if self.cache_policy is not None:
+                    self.cache_policy.on_remove(key)
             self._idle_count -= 1
         else:
             victim = self.stemcells.evict_one()

@@ -80,6 +80,11 @@ class ResilienceReport:
     dedup_unmerged_pages: int = 0
     dedup_saved_pages: int = 0
     dedup_scan_ms: float = 0.0
+    # Pluggable cache policy (empty/zero with no policy — the default).
+    cache_policy: str = ""
+    policy_evictions: int = 0
+    policy_keepalive_hits: int = 0
+    policy_prewarm_wasted_ms: float = 0.0
 
     @property
     def success_rate(self) -> float:
@@ -161,6 +166,17 @@ class ResilienceReport:
             report.zombies += getattr(node, "zombie_count", 0)
             report.useful_ms += getattr(node, "useful_ms", 0.0)
             report.wasted_ms += getattr(node, "wasted_ms", 0.0)
+            for policy in (
+                getattr(node, "cache_policy", None),
+                getattr(node, "uc_policy", None),
+            ):
+                if policy is not None:
+                    report.cache_policy = policy.name
+                    report.policy_evictions += policy.stats.evictions
+                    report.policy_keepalive_hits += policy.stats.keepalive_hits
+                    report.policy_prewarm_wasted_ms += (
+                        policy.stats.prewarm_wasted_ms
+                    )
         seen_nodes = set()
         for health in healths:
             node = health.node
@@ -241,6 +257,16 @@ class ResilienceReport:
                 f"node work: {self.useful_ms:.0f} ms useful, "
                 f"{self.wasted_ms:.0f} ms wasted "
                 f"({self.wasted_work_fraction:.1%} wasted)"
+            )
+        # Policy row appears only when a pluggable cache policy is
+        # configured (default clusters print the historical block
+        # verbatim).
+        if self.cache_policy:
+            out.append(
+                f"cache policy: {self.cache_policy} "
+                f"({self.policy_evictions} policy evictions, "
+                f"{self.policy_keepalive_hits} keep-alive hits, "
+                f"{self.policy_prewarm_wasted_ms:.0f} ms pre-warm wasted)"
             )
         if self.faults_injected:
             fired = ", ".join(

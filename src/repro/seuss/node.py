@@ -73,10 +73,27 @@ class SeussNode:
             self.config.oom_threshold_mb
         )
         self.cores = Resource(env, self.config.cores)
-        self.uc_cache = IdleUCCache(self.config.idle_ucs_per_function)
+        #: Pluggable cache policies (one per cache so their key spaces
+        #: stay disjoint); ``None`` unless the config opts in, keeping
+        #: the default node's eviction paths untouched.
+        self.cache_policy = None
+        self.uc_policy = None
+        if self.config.cache_policy is not None:
+            from repro.seuss.policy import make_policy
+
+            self.cache_policy = make_policy(
+                self.config.cache_policy, clock=lambda: self.env.now
+            )
+            self.uc_policy = make_policy(
+                self.config.cache_policy, clock=lambda: self.env.now
+            )
+        self.uc_cache = IdleUCCache(
+            self.config.idle_ucs_per_function, policy=self.uc_policy
+        )
         self.snapshot_cache = SnapshotCache(
             self.config.snapshot_cache_budget_mb,
             drop_idle=self.uc_cache.drop_function,
+            policy=self.cache_policy,
         )
         # The trivial OOM daemon: reclaim idle UCs under pressure (§6).
         self.allocator.add_reclaim_hook(self.uc_cache.reclaim_pages)

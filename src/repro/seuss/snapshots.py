@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 from repro.mem.snapshot import Snapshot
+from repro.seuss.policy import CachePolicy
 from repro.trace import current as _active_tracer
 from repro.units import mb_to_pages, pages_to_mb
 
@@ -39,10 +40,15 @@ class SnapshotCache:
         self,
         budget_mb: float,
         drop_idle: Optional[Callable[[str], int]] = None,
+        policy: Optional[CachePolicy] = None,
     ) -> None:
         self._budget_pages = mb_to_pages(budget_mb)
         self._entries: "OrderedDict[str, Snapshot]" = OrderedDict()
         self._held_pages = 0
+        #: Optional pluggable eviction policy (``seuss/policy.py``).
+        #: ``None`` keeps the historical hard-coded LRU path untouched;
+        #: the ``lru`` policy is pinned byte-identical to it.
+        self._policy = policy
         #: Callback that destroys all idle UCs of a function (returns
         #: how many were destroyed), releasing snapshot references so
         #: eviction can proceed.
@@ -83,6 +89,8 @@ class SnapshotCache:
                 tracer.event("snapshot_cache.miss", key=key)
             return None
         self._entries.move_to_end(key)
+        if self._policy is not None:
+            self._policy.on_hit(key)
         self.stats.hits += 1
         tracer = _active_tracer()
         if tracer.enabled:
@@ -106,6 +114,8 @@ class SnapshotCache:
         snapshot.retain()
         self._entries[key] = snapshot
         self._held_pages += footprint
+        if self._policy is not None:
+            self._policy.on_insert(key, size_mb=pages_to_mb(footprint))
         self.stats.insertions += 1
         tracer = _active_tracer()
         if tracer.enabled:
@@ -121,11 +131,18 @@ class SnapshotCache:
             and attempts > 0
         ):
             attempts -= 1
-            key = next(iter(self._entries))  # LRU victim
+            if self._policy is not None:
+                key = self._policy.victim()
+                if key is None or key not in self._entries:
+                    key = next(iter(self._entries))
+            else:
+                key = next(iter(self._entries))  # LRU victim
             if not self._evict(key):
                 # Could not delete (live dependents survived drop_idle);
                 # rotate it to the back and try the next victim.
                 self._entries.move_to_end(key)
+                if self._policy is not None:
+                    self._policy.requeue(key)
                 self.stats.eviction_failures += 1
 
     def _evict(self, key: str) -> bool:
@@ -136,6 +153,8 @@ class SnapshotCache:
         if snapshot.refcount > 1:
             return False  # a live invocation still depends on it
         del self._entries[key]
+        if self._policy is not None:
+            self._policy.on_remove(key)
         snapshot.release()
         # Deduped snapshots only free shared frames at refcount zero;
         # uncharge exactly what physically returned to the pool.
@@ -165,6 +184,10 @@ class SnapshotCache:
         snapshot = self._entries.pop(key, None)
         if snapshot is None:
             return False
+        if self._policy is not None:
+            # Quarantine is not an eviction decision; keep policy
+            # eviction counts clean.
+            self._policy.on_remove(key, evicted=False)
         self._held_pages -= snapshot.charged_pages
         self.stats.quarantined += 1
         tracer = _active_tracer()

@@ -15,6 +15,7 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Optional
 
+from repro.seuss.policy import CachePolicy
 from repro.trace import current as _active_tracer
 from repro.unikernel.context import UCState, UnikernelContext
 
@@ -30,12 +31,20 @@ class UCCacheStats:
 class IdleUCCache:
     """Idle unikernel contexts keyed by function, LRU across functions."""
 
-    def __init__(self, per_function_limit: int = 512) -> None:
+    def __init__(
+        self,
+        per_function_limit: int = 512,
+        policy: Optional[CachePolicy] = None,
+    ) -> None:
         self._per_function_limit = per_function_limit
         # OrderedDict preserves global LRU order over function keys;
         # each key holds a FIFO of idle UCs.
         self._idle: "OrderedDict[str, Deque[UnikernelContext]]" = OrderedDict()
         self._count = 0
+        #: Optional pluggable reclaim-order policy over *function keys*
+        #: (``seuss/policy.py``).  ``None`` keeps the historical
+        #: LRU-across-functions reclaim untouched.
+        self._policy = policy
         self.stats = UCCacheStats()
 
     def __len__(self) -> int:
@@ -58,6 +67,8 @@ class IdleUCCache:
         bucket.append(uc)
         self._idle.move_to_end(key)
         self._count += 1
+        if self._policy is not None:
+            self._policy.on_insert(key)
         self.stats.cached += 1
         tracer = _active_tracer()
         if tracer.enabled:
@@ -79,8 +90,14 @@ class IdleUCCache:
         self._count -= 1
         if not bucket:
             del self._idle[key]
+            if self._policy is not None:
+                # The function left the cache by being *used*, not
+                # evicted; keep policy eviction counts clean.
+                self._policy.on_remove(key, evicted=False)
         else:
             self._idle.move_to_end(key)
+            if self._policy is not None:
+                self._policy.on_hit(key)
         self.stats.hot_hits += 1
         tracer = _active_tracer()
         if tracer.enabled:
@@ -97,12 +114,19 @@ class IdleUCCache:
         """
         freed = 0
         while freed < pages_needed and self._idle:
-            key = next(iter(self._idle))  # least recently used function
+            if self._policy is not None:
+                key = self._policy.victim()
+                if key is None or key not in self._idle:
+                    key = next(iter(self._idle))
+            else:
+                key = next(iter(self._idle))  # least recently used function
             bucket = self._idle[key]
             uc = bucket.popleft()
             self._count -= 1
             if not bucket:
                 del self._idle[key]
+                if self._policy is not None:
+                    self._policy.on_remove(key)
             freed += uc.destroy()
             self.stats.reclaimed += 1
             tracer = _active_tracer()
@@ -116,6 +140,10 @@ class IdleUCCache:
         bucket = self._idle.pop(key, None)
         if not bucket:
             return 0
+        if self._policy is not None:
+            # Dropped on behalf of a snapshot-cache eviction (or a
+            # clear); the owning cache's policy accounts the eviction.
+            self._policy.on_remove(key, evicted=False)
         dropped = 0
         for uc in bucket:
             uc.destroy()

@@ -11,6 +11,7 @@ backends can also be compared under realistic skew
 
 from __future__ import annotations
 
+import itertools
 import math
 import random
 from dataclasses import dataclass
@@ -21,22 +22,53 @@ from repro.faas.records import FunctionSpec
 
 
 class ArrivalProcess:
-    """Base: an infinite stream of inter-arrival gaps (ms)."""
+    """Base: an infinite stream of inter-arrival gaps (ms).
 
-    def gaps(self) -> Iterator[float]:
+    Rate-modulated processes need to know *where on the clock* the
+    stream starts — stitching a trace out of segments restarts ``gaps``
+    once per segment, and a phase that silently resets to zero bends
+    every segment's rate profile back to the period origin.  ``gaps``
+    therefore takes the absolute start time; memoryless processes are
+    free to ignore it.
+    """
+
+    def gaps(self, start_ms: float = 0.0) -> Iterator[float]:
         raise NotImplementedError
 
     def arrival_times(self, count: int, start_ms: float = 0.0) -> List[float]:
-        """The first ``count`` absolute arrival times."""
+        """The first ``count`` absolute arrival times from ``start_ms``."""
         if count < 0:
             raise ConfigError(f"negative count {count}")
         times: List[float] = []
         now = start_ms
-        gaps = self.gaps()
+        gaps = self.gaps(start_ms)
         for _ in range(count):
             now += next(gaps)
             times.append(now)
         return times
+
+    def arrival_times_until(
+        self, end_ms: float, start_ms: float = 0.0
+    ) -> List[float]:
+        """All arrival times in ``(start_ms, end_ms]``.
+
+        The segment form used by trace stitching: each call consumes
+        the process's RNG stream from where the previous one stopped,
+        so consecutive segments concatenate into one statistically
+        continuous trace (pinned by the stitching tests).
+        """
+        if end_ms < start_ms:
+            raise ConfigError(
+                f"end_ms {end_ms} precedes start_ms {start_ms}"
+            )
+        times: List[float] = []
+        now = start_ms
+        gaps = self.gaps(start_ms)
+        while True:
+            now += next(gaps)
+            if now > end_ms:
+                return times
+            times.append(now)
 
 
 class PoissonArrivals(ArrivalProcess):
@@ -48,7 +80,7 @@ class PoissonArrivals(ArrivalProcess):
         self.rate_per_s = rate_per_s
         self._rng = random.Random(seed)
 
-    def gaps(self) -> Iterator[float]:
+    def gaps(self, start_ms: float = 0.0) -> Iterator[float]:
         mean_gap_ms = 1000.0 / self.rate_per_s
         while True:
             yield self._rng.expovariate(1.0 / mean_gap_ms)
@@ -87,13 +119,53 @@ class ModulatedArrivals(ArrivalProcess):
             else self.base_rate_per_s
         )
 
-    def gaps(self) -> Iterator[float]:
-        now = 0.0
+    def gaps(self, start_ms: float = 0.0) -> Iterator[float]:
+        # Phase tracks *absolute* time: a stream started mid-period sees
+        # the rate of that phase, not a peak restarted at zero.  (The
+        # historical `now = 0.0` reset the burst phase at every segment
+        # boundary of a stitched trace.)
+        now = float(start_ms)
         while True:
             rate = self._rate_at(now)
             gap = self._rng.expovariate(rate / 1000.0)
             now += gap
             yield gap
+
+
+class ZipfStream:
+    """A resumable index stream over a :class:`ZipfPopularity`.
+
+    Holds its own :class:`random.Random` seeded once at construction,
+    so consecutive :meth:`take` calls continue the underlying uniform
+    stream — two draws of 500 concatenate to exactly one draw of 1000.
+    """
+
+    __slots__ = ("_rng", "_population", "_cum_weights", "drawn")
+
+    def __init__(self, popularity: "ZipfPopularity") -> None:
+        self._rng = random.Random(popularity.seed)
+        self._population = range(popularity.function_count)
+        # ``choices(weights=w)`` accumulates w internally on every call;
+        # pre-accumulating once is byte-identical (same float order) and
+        # O(1) per segment instead of O(function_count).
+        self._cum_weights = list(
+            itertools.accumulate(popularity.weights())
+        )
+        #: Total indices drawn so far (segment-stitching bookkeeping).
+        self.drawn = 0
+
+    def take(self, count: int) -> List[int]:
+        """The next ``count`` indices of the stream."""
+        if count < 0:
+            raise ConfigError(f"negative count {count}")
+        self.drawn += count
+        return self._rng.choices(
+            self._population, cum_weights=self._cum_weights, k=count
+        )
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            yield self.take(1)[0]
 
 
 @dataclass(frozen=True)
@@ -109,6 +181,9 @@ class ZipfPopularity:
             raise ConfigError("function_count must be >= 1")
         if self.exponent <= 0:
             raise ConfigError("exponent must be positive")
+        # Persistent sampling stream behind ``sample_indices`` (lazily
+        # created; object.__setattr__ because the dataclass is frozen).
+        object.__setattr__(self, "_stream", None)
 
     def weights(self) -> List[float]:
         return [
@@ -116,11 +191,25 @@ class ZipfPopularity:
             for rank in range(1, self.function_count + 1)
         ]
 
+    def stream(self) -> ZipfStream:
+        """A fresh resumable stream (independent of other streams)."""
+        return ZipfStream(self)
+
     def sample_indices(self, count: int) -> List[int]:
-        """``count`` function indices, most popular = index 0."""
-        rng = random.Random(self.seed)
-        population = range(self.function_count)
-        return rng.choices(population, weights=self.weights(), k=count)
+        """``count`` function indices, most popular = index 0.
+
+        Sampling is *resumable*: consecutive calls continue one
+        persistent RNG stream, so synthesizing a long trace in segments
+        draws fresh indices per segment.  (The historical implementation
+        re-seeded per call and replayed the identical sequence every
+        time.)  The first call is byte-identical to the historical
+        output; use :meth:`stream` for explicitly independent streams.
+        """
+        stream = self._stream
+        if stream is None:
+            stream = ZipfStream(self)
+            object.__setattr__(self, "_stream", stream)
+        return stream.take(count)
 
     def head_share(self, head: int) -> float:
         """Fraction of traffic hitting the ``head`` most popular fns."""
@@ -208,6 +297,15 @@ def _replay_trace_batched(cluster, trace: Sequence[TraceEntry], epoch_size: int)
     done = env.event()
 
     def collect(process) -> None:
+        if not process.ok:
+            # Legacy parity: in the serial path a failed invocation
+            # process fails the ``all_of`` barrier and the exception
+            # propagates out of ``run``.  Here the failure is left
+            # un-defused so the engine raises it the same way; it must
+            # never be appended as if it were a result (the historical
+            # code collected the exception object and, were it the last
+            # entry, declared the replay complete).
+            return
         results.append(process.value)
         if len(results) == total:
             done.succeed()

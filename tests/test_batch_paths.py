@@ -85,6 +85,111 @@ class TestBatchedReplay:
                          batched=True, epoch_size=0)
 
 
+class _Boom(RuntimeError):
+    pass
+
+
+class _ExplodingCluster:
+    """Cluster stand-in whose marked invocations fail as processes.
+
+    Client-visible failures (``success=False`` results) never raise;
+    this models the *engine-level* failure mode — an exception escaping
+    an invocation process — which the serial replay path propagates out
+    of ``env.run``.
+    """
+
+    def __init__(self):
+        self.env = Environment()
+
+    def invoke(self, fn):
+        def run():
+            yield self.env.timeout(1.0)
+            if fn.name.endswith("boom"):
+                raise _Boom(fn.name)
+            return fn.name
+
+        return self.env.process(run())
+
+
+class TestBatchedReplayFailureParity:
+    """A failing invocation process must escape both replay paths
+    identically.  Regression: the batched collector once appended
+    ``process.value`` unconditionally — for a failed process that is
+    the *exception object*, and when the failure landed on the final
+    entry the replay declared itself complete with the exception
+    sitting in the results list."""
+
+    def _trace(self, boom_at, count=5):
+        fns = _functions(count)
+        entries = synthesize_trace(
+            fns,
+            PoissonArrivals(100.0, seed=2),
+            ZipfPopularity(count, seed=2),
+            count,
+        )
+        from dataclasses import replace
+
+        boom = replace(
+            entries[boom_at].function, name=f"{boom_at}boom"
+        )
+        entries[boom_at] = type(entries[boom_at])(
+            at_ms=entries[boom_at].at_ms, function=boom
+        )
+        return entries
+
+    def test_legacy_and_batched_raise_identically(self):
+        trace = self._trace(boom_at=2)
+        with pytest.raises(_Boom) as legacy:
+            replay_trace(_ExplodingCluster(), trace)
+        with pytest.raises(_Boom) as batched:
+            replay_trace(
+                _ExplodingCluster(), trace, batched=True, epoch_size=2
+            )
+        assert str(batched.value) == str(legacy.value)
+
+    def test_failure_on_final_entry_still_raises(self):
+        # The exact shape of the old bug: last entry fails, collector
+        # counts it as the completing result, replay "succeeds".
+        trace = self._trace(boom_at=4)
+        with pytest.raises(_Boom):
+            replay_trace(
+                _ExplodingCluster(), trace, batched=True, epoch_size=64
+            )
+
+
+class TestChaosReplayEquivalence:
+    def test_faulty_cluster_outcomes_identical(self):
+        """Under fault injection (crashes, corrupt restores, retries)
+        the batched replay sees the exact client-visible outcomes of
+        the serial replay — including failed requests."""
+        from repro.faas.controller import RetryPolicy
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(
+            node_crash_p=0.02,
+            snapshot_corrupt_restore_p=0.05,
+            seed=0xC0A5,
+        )
+
+        def run(batched):
+            cluster = FaasCluster.with_seuss_node(
+                Environment(),
+                faults=plan,
+                retries=RetryPolicy(max_attempts=2),
+            )
+            return replay_trace(
+                cluster,
+                _trace(_functions(), count=300),
+                batched=batched,
+                epoch_size=64,
+            )
+
+        legacy = run(False)
+        batched = run(True)
+        assert len(legacy) == len(batched) == 300
+        assert _outcome_key(legacy) == _outcome_key(batched)
+
+
 class TestOpenLoopTrial:
     def test_completes_all_invocations(self):
         cluster = _cluster()

@@ -5,7 +5,9 @@ Two layers of evidence:
 * Every quick-profile experiment table must hash byte-identically to
   the goldens in ``tests/data/quick_suite_tables.sha256.json``, which
   were captured from the pristine ``heapq`` engine at the parent
-  commit.  A deviation in any digit of any of the 20 tables fails here.
+  commit.  A deviation in any digit of any of the 21 tables fails here.
+  (The ``keepalive`` table, added with the policy lab, is pinned the
+  same way so later policy work cannot silently shift its curves.)
 * ``Environment`` edge-case semantics (``peek`` on an empty queue,
   ``run(until=...)`` with a past deadline, event limits, draining,
   mid-gap deadlines) must behave identically — same exceptions, same

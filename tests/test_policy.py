@@ -1,0 +1,326 @@
+"""Cache-policy unit tests: victim orders, windows, stats, plumbing.
+
+The contract under test: policies only *order* eviction decisions (the
+caches keep ownership of entries and budgets), the ``lru`` policy is
+byte-identical to the seed discipline even under eviction pressure, and
+the histogram/greedy-dual policies implement their published decision
+rules exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faas.cluster import FaasCluster
+from repro.linuxnode.config import LinuxNodeConfig
+from repro.metrics.resilience import ResilienceReport
+from repro.seuss.config import SeussConfig
+from repro.seuss.policy import (
+    POLICY_NAMES,
+    GreedyDualPolicy,
+    HybridHistogramPolicy,
+    LIFOPolicy,
+    LRUPolicy,
+    make_policy,
+    normalize_policy_name,
+)
+from repro.sim import Environment
+from repro.workload.functions import unique_nop_set
+from repro.workload.generator import run_trial
+
+
+class TestNames:
+    def test_aliases_fold_to_canonical(self):
+        assert normalize_policy_name("hybrid-histogram") == "hybrid"
+        assert normalize_policy_name("GDSF") == "greedy_dual"
+        assert normalize_policy_name("FaasCache") == "greedy_dual"
+        assert normalize_policy_name(" LRU ") == "lru"
+
+    def test_make_policy_builds_each_name(self):
+        classes = {
+            "lru": LRUPolicy,
+            "lifo": LIFOPolicy,
+            "hybrid": HybridHistogramPolicy,
+            "greedy_dual": GreedyDualPolicy,
+        }
+        for name in POLICY_NAMES:
+            policy = make_policy(name)
+            assert isinstance(policy, classes[name])
+            assert policy.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_policy("belady")
+
+
+class TestLRUOrder:
+    def test_victim_is_least_recently_used(self):
+        policy = LRUPolicy()
+        for key in ("a", "b", "c"):
+            policy.on_insert(key)
+        assert policy.victim() == "a"
+        policy.on_hit("a")
+        assert policy.victim() == "b"
+        policy.on_remove("b")
+        assert policy.victim() == "c"
+        assert policy.stats.evictions == 1
+
+    def test_requeue_rotates_to_back(self):
+        policy = LRUPolicy()
+        for key in ("a", "b"):
+            policy.on_insert(key)
+        policy.requeue("a")
+        assert policy.victim() == "b"
+        assert policy.stats.requeues == 1
+
+
+class TestLIFOOrder:
+    def test_victim_is_newest(self):
+        policy = LIFOPolicy()
+        for key in ("a", "b", "c"):
+            policy.on_insert(key)
+        assert policy.victim() == "c"
+        policy.on_hit("a")
+        assert policy.victim() == "a"
+
+    def test_requeue_pushes_to_oldest_end(self):
+        policy = LIFOPolicy()
+        for key in ("a", "b", "c"):
+            policy.on_insert(key)
+        policy.requeue("c")
+        assert policy.victim() == "b"
+
+
+class TestHybridWindows:
+    def _clocked(self, **kwargs):
+        state = {"now": 0.0}
+        policy = HybridHistogramPolicy(clock=lambda: state["now"], **kwargs)
+        return policy, state
+
+    def test_sparse_history_uses_default_window(self):
+        policy, _ = self._clocked()
+        policy.on_insert("f")
+        assert policy.keep_alive_ms("f") == policy.default_keep_alive_ms
+        assert policy.prewarm_gap_ms("f") is None
+
+    def test_long_head_unloads_fast_and_prewarms(self):
+        """Idles concentrated at ~300 s: unload after one bucket, warm
+        one bucket ahead of the earliest likely return, keep the
+        pre-warmed instance through the tail."""
+        policy, _ = self._clocked()
+        policy.on_insert("f")
+        for _ in range(4):
+            policy.observe_idle("f", 300_000.0)
+        assert policy.keep_alive_ms("f") == 60_000.0
+        assert policy.prewarm_gap_ms("f") == 240_000.0
+        # tail = 360 s (end of bucket 5); prewarm keep = tail - gap.
+        assert policy.prewarm_keep_alive_ms("f") == 120_000.0
+
+    def test_short_idles_keep_through_tail(self):
+        policy, _ = self._clocked()
+        policy.on_insert("f")
+        for _ in range(4):
+            policy.observe_idle("f", 30_000.0)
+        assert policy.keep_alive_ms("f") == 60_000.0  # end of bucket 0
+        assert policy.prewarm_gap_ms("f") is None
+
+    def test_hits_classified_against_window(self):
+        policy, state = self._clocked()
+        policy.on_insert("f")
+        for now in (30_000.0, 60_000.0, 90_000.0, 120_000.0):
+            state["now"] = now
+            policy.on_hit("f")
+        # Four 30 s idles: keep = 60 s; all hits inside a window so far.
+        assert policy.stats.keepalive_hits == 4
+        state["now"] = 500_000.0  # 380 s idle > 60 s keep
+        policy.on_hit("f")
+        assert policy.stats.expired_hits == 1
+
+    def test_histogram_survives_removal(self):
+        """Cold starts are arrivals too: a function that is never warm
+        at its next arrival must still accumulate history."""
+        policy, state = self._clocked()
+        policy.on_insert("f")
+        policy.on_remove("f", evicted=False)
+        for now in (180_000.0, 360_000.0, 540_000.0, 720_000.0):
+            state["now"] = now
+            policy.on_insert("f")
+            policy.on_remove("f", evicted=False)
+        # Four observed 180 s inter-arrival gaps despite zero hits.
+        assert policy.keep_alive_ms("f") == 60_000.0
+        assert policy.prewarm_gap_ms("f") == 120_000.0
+
+    def test_prewarmed_insert_is_not_an_arrival(self):
+        policy, state = self._clocked()
+        policy.on_insert("f")
+        state["now"] = 100_000.0
+        policy.on_insert("f", prewarmed=True)
+        # No idle observation happened: history is still one arrival.
+        assert policy.keep_alive_ms("f") == policy.default_keep_alive_ms
+
+    def test_victim_order_is_lru_with_requeue_last(self):
+        policy, state = self._clocked()
+        for now, key in ((0.0, "a"), (10.0, "b"), (20.0, "c")):
+            state["now"] = now
+            policy.on_insert(key)
+        assert policy.victim() == "a"
+        policy.requeue("a")
+        assert policy.victim() == "b"
+        state["now"] = 30.0
+        policy.on_hit("b")
+        assert policy.victim() == "c"
+        policy.on_remove("c")
+        # The requeued key returns only after everything else.
+        assert policy.victim() == "b"
+        policy.on_remove("b")
+        assert policy.victim() == "a"
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigError):
+            HybridHistogramPolicy(bucket_ms=0.0)
+        with pytest.raises(ConfigError):
+            HybridHistogramPolicy(prewarm_percentile=0.9, keep_percentile=0.5)
+
+
+class TestGreedyDual:
+    def test_large_cheap_entries_evicted_first(self):
+        policy = GreedyDualPolicy()
+        policy.on_insert("big", size_mb=100.0, cost_ms=100.0)
+        policy.on_insert("small", size_mb=1.0, cost_ms=100.0)
+        # priority = clock + freq * cost / size: 1 vs 100.
+        assert policy.victim() == "big"
+
+    def test_eviction_advances_clock(self):
+        policy = GreedyDualPolicy()
+        policy.on_insert("a", size_mb=100.0, cost_ms=100.0)
+        policy.on_insert("b", size_mb=1.0, cost_ms=100.0)
+        policy.on_remove("a")  # priority 1.0 becomes the clock
+        assert policy.clock_value == 1.0
+        policy.on_insert("c", size_mb=100.0, cost_ms=100.0)
+        # c enters at clock + 1 = 2.0, still below b's 100.
+        assert policy.victim() == "c"
+        assert policy.stats.evictions == 1
+
+    def test_frequency_protects_hot_keys(self):
+        policy = GreedyDualPolicy()
+        policy.on_insert("cold", size_mb=10.0, cost_ms=100.0)
+        policy.on_insert("hot", size_mb=10.0, cost_ms=100.0)
+        for _ in range(5):
+            policy.on_hit("hot")
+        assert policy.victim() == "cold"
+
+    def test_requeue_credits_like_a_hit(self):
+        policy = GreedyDualPolicy()
+        policy.on_insert("a", size_mb=10.0, cost_ms=100.0)
+        policy.on_insert("b", size_mb=10.0, cost_ms=100.0)
+        policy.requeue("a")
+        assert policy.victim() == "b"
+        assert policy.stats.requeues == 1
+
+
+PRESSURE = dict(
+    invocation_count=300,
+    workers=8,
+    seed=0x0FF,
+)
+
+
+def _fingerprint(trial):
+    return [
+        (r.sent_at_ms, r.finished_at_ms, r.path, r.success)
+        for r in trial.results
+    ]
+
+
+class TestSeedParityUnderPressure:
+    """The ``lru`` policy must replay the seed eviction decisions
+    byte-for-byte *while evictions are actually happening*."""
+
+    def test_seuss_snapshot_evictions_identical(self):
+        def run(policy):
+            env = Environment()
+            cluster = FaasCluster.with_seuss_node(
+                env,
+                config=SeussConfig(
+                    snapshot_cache_budget_mb=48.0, cache_policy=policy
+                ),
+            )
+            trial = run_trial(cluster, unique_nop_set(24), **PRESSURE)
+            return trial, cluster.nodes[0]
+
+        baseline, baseline_node = run(None)
+        mirrored, mirrored_node = run("lru")
+        assert baseline_node.snapshot_cache.stats.evictions > 0
+        assert (
+            mirrored_node.snapshot_cache.stats.evictions
+            == baseline_node.snapshot_cache.stats.evictions
+        )
+        assert _fingerprint(mirrored) == _fingerprint(baseline)
+        assert mirrored_node.cache_policy.stats.evictions > 0
+
+    def test_linux_idle_evictions_identical(self):
+        def run(policy):
+            env = Environment()
+            cluster = FaasCluster.with_linux_node(
+                env,
+                config=LinuxNodeConfig(
+                    container_cache_limit=8, cache_policy=policy
+                ),
+            )
+            trial = run_trial(cluster, unique_nop_set(24), **PRESSURE)
+            return trial, cluster.nodes[0]
+
+        baseline, _ = run(None)
+        mirrored, mirrored_node = run("lru")
+        assert _fingerprint(mirrored) == _fingerprint(baseline)
+        assert mirrored_node.cache_policy.stats.evictions > 0
+
+
+class TestConfigPlumbing:
+    def test_names_canonicalized_at_config_time(self):
+        assert SeussConfig(cache_policy="hybrid-histogram").cache_policy == "hybrid"
+        assert LinuxNodeConfig(cache_policy="GDSF").cache_policy == "greedy_dual"
+
+    def test_bogus_names_rejected(self):
+        with pytest.raises(ConfigError):
+            SeussConfig(cache_policy="belady")
+        with pytest.raises(ConfigError):
+            LinuxNodeConfig(cache_policy="belady")
+
+    def test_node_builds_configured_policy(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(
+            env, config=SeussConfig(cache_policy="greedy_dual")
+        )
+        node = cluster.nodes[0]
+        assert node.cache_policy.name == "greedy_dual"
+        assert node.uc_policy.name == "greedy_dual"
+        # Separate instances: snapshot and UC caches must not share
+        # recency state.
+        assert node.cache_policy is not node.uc_policy
+
+
+class TestResilienceRow:
+    def test_no_policy_no_row(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(env)
+        run_trial(cluster, unique_nop_set(8), **PRESSURE)
+        report = ResilienceReport.from_cluster(cluster)
+        assert report.cache_policy == ""
+        assert "cache policy" not in "\n".join(report.lines())
+
+    def test_policy_row_reports_counters(self):
+        env = Environment()
+        cluster = FaasCluster.with_seuss_node(
+            env,
+            config=SeussConfig(
+                snapshot_cache_budget_mb=48.0, cache_policy="lru"
+            ),
+        )
+        run_trial(cluster, unique_nop_set(24), **PRESSURE)
+        report = ResilienceReport.from_cluster(cluster)
+        assert report.cache_policy == "lru"
+        assert report.policy_evictions > 0
+        text = "\n".join(report.lines())
+        assert "cache policy: lru" in text

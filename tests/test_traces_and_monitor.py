@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
 from repro.errors import ConfigError
@@ -56,6 +58,62 @@ class TestArrivals:
             ModulatedArrivals(1.0, 2.0, 100.0, peak_fraction=1.5)
         with pytest.raises(ConfigError):
             PoissonArrivals(1.0).arrival_times(-1)
+        with pytest.raises(ConfigError):
+            PoissonArrivals(1.0).arrival_times_until(5.0, start_ms=10.0)
+
+    def test_modulated_gaps_respect_start_phase(self):
+        """Regression: ``gaps`` once reset the burst phase to the
+        period origin, so a stream started off-peak drew peak-rate
+        gaps.  The first gap must come from the rate at ``start_ms``."""
+        arrivals = ModulatedArrivals(
+            base_rate_per_s=1.0,
+            peak_rate_per_s=1000.0,
+            period_ms=10_000.0,
+            peak_fraction=0.2,
+            seed=11,
+        )
+        # Phase 0.5 is off-peak: the first gap is a base-rate draw
+        # (mean 1000 ms), not a peak-rate draw (mean 1 ms).
+        first = next(arrivals.gaps(start_ms=5_000.0))
+        expected = random.Random(11).expovariate(1.0 / 1_000.0)
+        assert first == expected
+
+    def test_arrival_times_until_segments_stitch(self):
+        """Consecutive segment draws continue one RNG stream and
+        partition the timeline at the boundary."""
+        process = PoissonArrivals(100.0, seed=5)
+        seg1 = process.arrival_times_until(1_000.0)
+        seg2 = process.arrival_times_until(2_000.0, start_ms=1_000.0)
+        assert seg1 and seg2
+        assert all(0.0 < t <= 1_000.0 for t in seg1)
+        assert all(1_000.0 < t <= 2_000.0 for t in seg2)
+        combined = seg1 + seg2
+        assert combined == sorted(combined)
+        # Deterministic per seed, segment by segment.
+        replay = PoissonArrivals(100.0, seed=5)
+        assert replay.arrival_times_until(1_000.0) == seg1
+        assert (
+            replay.arrival_times_until(2_000.0, start_ms=1_000.0) == seg2
+        )
+
+    def test_modulated_segments_keep_peak_position(self):
+        """A stitched modulated trace keeps its peaks where the clock
+        says, not where segment boundaries restart them."""
+        arrivals = ModulatedArrivals(
+            base_rate_per_s=10.0,
+            peak_rate_per_s=500.0,
+            period_ms=10_000.0,
+            peak_fraction=0.2,
+            seed=3,
+        )
+        times = []
+        for start in range(0, 40_000, 2_500):  # segments cut mid-period
+            times.extend(
+                arrivals.arrival_times_until(start + 2_500.0, start_ms=start)
+            )
+        assert times == sorted(times)
+        in_peak = sum(1 for t in times if (t % 10_000.0) / 10_000.0 < 0.2)
+        assert in_peak / len(times) > 0.6
 
 
 class TestZipf:
@@ -74,6 +132,39 @@ class TestZipf:
             ZipfPopularity(function_count=0)
         with pytest.raises(ConfigError):
             ZipfPopularity(function_count=5, exponent=0)
+        with pytest.raises(ConfigError):
+            ZipfPopularity(function_count=5, seed=1).stream().take(-1)
+
+    def test_sample_indices_resumable(self):
+        """Regression: ``sample_indices`` once re-seeded per call, so
+        every call replayed the identical index sequence.  Consecutive
+        calls must continue one stream — and concatenate to exactly one
+        larger draw."""
+        popularity = ZipfPopularity(function_count=50, exponent=1.1, seed=8)
+        first = popularity.sample_indices(500)
+        second = popularity.sample_indices(500)
+        assert first != second  # the old bug: first == second
+        fresh = ZipfPopularity(function_count=50, exponent=1.1, seed=8)
+        assert first + second == fresh.sample_indices(1000)
+
+    def test_first_call_matches_historical_output(self):
+        """The first draw is byte-identical to the historical re-seeded
+        implementation (existing single-call traces are unchanged)."""
+        popularity = ZipfPopularity(function_count=50, exponent=1.1, seed=8)
+        historical = random.Random(8).choices(
+            range(50), weights=popularity.weights(), k=200
+        )
+        assert popularity.sample_indices(200) == historical
+
+    def test_stream_is_independent_and_counts(self):
+        popularity = ZipfPopularity(function_count=20, exponent=1.2, seed=6)
+        stream = popularity.stream()
+        a = stream.take(3)
+        b = stream.take(7)
+        assert stream.drawn == 10
+        assert a + b == popularity.stream().take(10)
+        # Streams are independent of sample_indices' persistent stream.
+        assert popularity.sample_indices(3) == a
 
 
 class TestTraceReplay:
